@@ -1,0 +1,370 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV), plus ablation micro-benchmarks for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the headline numbers of each figure as
+// custom metrics, so a bench run doubles as a reproduction check.
+package grade10_test
+
+import (
+	"fmt"
+	"testing"
+
+	"grade10/internal/attribution"
+	"grade10/internal/bottleneck"
+	"grade10/internal/cluster"
+	"grade10/internal/core"
+	"grade10/internal/dataflowsim"
+	"grade10/internal/experiments"
+	"grade10/internal/giraphsim"
+	"grade10/internal/graph"
+	"grade10/internal/issues"
+	"grade10/internal/metrics"
+	"grade10/internal/pgsim"
+	"grade10/internal/vertexprog"
+	"grade10/internal/vtime"
+	"grade10/internal/workload"
+)
+
+// BenchmarkFigure2WorkedExample regenerates the paper's §III-D constructed
+// example through the real attribution pipeline.
+func BenchmarkFigure2WorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Consumption["r2"][2], "r2-slice2-%")
+			b.ReportMetric(r.Consumption["r2"][3], "r2-slice3-%")
+		}
+	}
+}
+
+// BenchmarkTable2Upsampling regenerates Table II: upsampling error versus
+// monitoring granularity for three system configurations.
+func BenchmarkTable2Upsampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Ratio == 64 {
+					b.ReportMetric(r.Grade10Error*100, r.System+"-err64x-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3AttributionRules regenerates Figure 3: the effect of tuned
+// attribution rules on the Compute phase's demand estimate and bottleneck
+// flags.
+func BenchmarkFig3AttributionRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			count := func(pts []experiments.Fig3Point) float64 {
+				n := 0.0
+				for _, p := range pts {
+					if p.Bottlenecked {
+						n++
+					}
+				}
+				return n
+			}
+			b.ReportMetric(count(r.Tuned), "tuned-btl-slices")
+			b.ReportMetric(count(r.Untuned), "untuned-btl-slices")
+		}
+	}
+}
+
+// BenchmarkFig4Bottlenecks regenerates Figure 4: bottleneck impact across
+// the eight workloads on both engines.
+func BenchmarkFig4Bottlenecks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			maxCPU, maxGC := 0.0, 0.0
+			for _, r := range rows {
+				if r.System == "giraph" && r.Resource == "cpu" && r.Impact > maxCPU {
+					maxCPU = r.Impact
+				}
+				if r.Resource == "gc" && r.Impact > maxGC {
+					maxGC = r.Impact
+				}
+			}
+			b.ReportMetric(maxCPU*100, "giraph-max-cpu-%")
+			b.ReportMetric(maxGC*100, "giraph-max-gc-%")
+		}
+	}
+}
+
+// BenchmarkFig5Imbalance regenerates Figure 5: imbalance impact across the
+// five PowerGraph phase types for the eight workloads.
+func BenchmarkFig5Imbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			maxGather := 0.0
+			for _, r := range rows {
+				if r.PhaseType == "gather" && r.Impact > maxGather {
+					maxGather = r.Impact
+				}
+			}
+			b.ReportMetric(maxGather*100, "max-gather-imbalance-%")
+		}
+	}
+}
+
+// BenchmarkFig6SyncBug regenerates Figure 6: straggler detection exposing
+// the injected PowerGraph synchronization bug.
+func BenchmarkFig6SyncBug(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.StepSlowdown, "step-slowdown-x")
+			b.ReportMetric(float64(r.AffectedSteps)/float64(r.TotalSteps)*100, "affected-steps-%")
+		}
+	}
+}
+
+// --- Ablation and substrate micro-benchmarks ---
+
+func analyzerFixture(b *testing.B) (*core.ExecutionTrace, *core.ResourceTrace,
+	*core.RuleSet, core.Timeslices) {
+	b.Helper()
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "bench", Gen: func() *graph.Graph { return graph.RMAT(11, 8, 42) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.BuildExecutionTrace(run.Result.Log, run.Models.Exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := cluster.Monitor(run.Result.Cluster, run.Result.Start, run.Result.End,
+		50*vtime.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := core.NewResourceTrace()
+	for _, rs := range mon {
+		res := run.Models.Res.Lookup(rs.Resource)
+		if res == nil {
+			continue
+		}
+		if err := rt.Add(res, rs.Machine, rs.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	slices := core.NewTimeslices(tr.Start, tr.End, 10*vtime.Millisecond)
+	return tr, rt, run.Models.Rules, slices
+}
+
+// BenchmarkAttribution measures the core attribution pipeline (demand
+// estimation, upsampling, per-phase attribution) on a real trace.
+func BenchmarkAttribution(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attribution.Attribute(tr, rt, rules, slices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBottleneckDetection measures §III-E detection on a real profile.
+func BenchmarkBottleneckDetection(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	prof, err := attribution.Attribute(tr, rt, rules, slices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bottleneck.Detect(prof, bottleneck.DefaultConfig())
+	}
+}
+
+// BenchmarkReplaySimulator measures the §III-F trace replay.
+func BenchmarkReplaySimulator(b *testing.B) {
+	tr, _, _, _ := analyzerFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issues.Replay(tr, nil)
+	}
+}
+
+// BenchmarkGiraphEngine measures the BSP engine simulation end to end.
+func BenchmarkGiraphEngine(b *testing.B) {
+	g := graph.RMAT(11, 8, 42)
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	part := graph.HashPartition(g, cfg.Workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := giraphsim.Run(vertexprog.NewPageRank(g, 0.85, 5), part, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerGraphEngine measures the GAS engine simulation end to end.
+func BenchmarkPowerGraphEngine(b *testing.B) {
+	g := graph.RMAT(11, 8, 42)
+	cfg := pgsim.DefaultConfig()
+	cfg.Workers = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pgsim.Run(vertexprog.NewPageRank(g, 0.85, 5), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyVertexCut measures the partitioner against the graph size.
+func BenchmarkGreedyVertexCut(b *testing.B) {
+	g := graph.RMAT(14, 16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vc := graph.GreedyVertexCut(g, 16)
+		if i == 0 {
+			b.ReportMetric(vc.ReplicationFactor(), "replication-factor")
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationTimesliceWidth sweeps the analysis granularity: the
+// paper's §III-C notes the timeslice duration controls how fine-grained the
+// analysis is; this shows its cost.
+func BenchmarkAblationTimesliceWidth(b *testing.B) {
+	for _, width := range []vtime.Duration{5 * vtime.Millisecond,
+		10 * vtime.Millisecond, 50 * vtime.Millisecond} {
+		b.Run(width.String(), func(b *testing.B) {
+			tr, rt, rules, _ := analyzerFixture(b)
+			slices := core.NewTimeslices(tr.Start, tr.End, width)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := attribution.Attribute(tr, rt, rules, slices); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioner compares hash and range edge-cut partitioning
+// on the BSP engine, reporting the resulting makespans. (The community
+// generator deliberately shuffles vertex ids, so neither strategy gets
+// trivially aligned communities; differences come from degree placement.)
+func BenchmarkAblationPartitioner(b *testing.B) {
+	g := graph.Community(graph.CommunityParams{
+		Vertices: 2048, Communities: 16, IntraDegree: 5, InterFraction: 0.03, Seed: 2,
+	})
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	for _, strat := range []string{"hash", "range"} {
+		b.Run(strat, func(b *testing.B) {
+			var part *graph.Partition
+			if strat == "hash" {
+				part = graph.HashPartition(g, cfg.Workers)
+			} else {
+				part = graph.RangePartition(g, cfg.Workers)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := giraphsim.Run(vertexprog.NewPageRank(g, 0.85, 4), part, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.End.Seconds()*1000, "makespan-ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUpsamplingRatio measures how reconstruction error scales
+// with the monitoring ratio on a live profile (the Table II mechanism as a
+// single-run metric).
+func BenchmarkAblationUpsamplingRatio(b *testing.B) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 2
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "bench-upsample", Gen: func() *graph.Graph { return graph.RMAT(11, 8, 5) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.BuildExecutionTrace(run.Result.Log, run.Models.Exec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, err := run.Result.Cluster.GroundTruth(0, cluster.ResCPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ground := metrics.SampleSeriesOf(exact, tr.Start, tr.End, 10*vtime.Millisecond)
+	truth := ground.ToSeries()
+	cpuRes := run.Models.Res.Lookup(cluster.ResCPU)
+	slices := core.NewTimeslices(tr.Start, tr.End, 10*vtime.Millisecond)
+	for _, ratio := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("%dx", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := core.NewResourceTrace()
+				if err := rt.Add(cpuRes, 0, ground.Downsample(ratio)); err != nil {
+					b.Fatal(err)
+				}
+				prof, err := attribution.Attribute(tr, rt, run.Models.Rules, slices)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					up := prof.Get(cluster.ResCPU, 0).UpsampledSeries(slices)
+					e := metrics.RelativeError(up, truth, tr.Start, tr.End, 10*vtime.Millisecond)
+					b.ReportMetric(e*100, "error-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataflowEngine measures the Spark-like extension engine.
+func BenchmarkDataflowEngine(b *testing.B) {
+	job := dataflowsim.Job{
+		Name: "bench", InputRows: 100_000,
+		Stages: []dataflowsim.StageSpec{
+			{Tasks: 32, CostPerRow: 2e-6, Selectivity: 1, ShuffleSkew: 0.8},
+			{Tasks: 32, CostPerRow: 4e-6, Selectivity: 0.3},
+		},
+	}
+	cfg := dataflowsim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataflowsim.Run(job, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

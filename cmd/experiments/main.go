@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table2
+//	experiments -exp fig3 -csv fig3.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grade10/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, or all")
+		csvOut = flag.String("csv", "", "fig3: also write the series CSV to this file")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig2", func() error {
+		r, err := experiments.Figure2()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig2(os.Stdout, r)
+		return nil
+	})
+	run("fig3", func() error {
+		r, err := experiments.Figure3()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig3(os.Stdout, r)
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			experiments.Fig3CSV(f, r)
+		}
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(os.Stdout, rows)
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := experiments.Figure4()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(os.Stdout, rows)
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		r, err := experiments.Figure6()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(os.Stdout, r)
+		return nil
+	})
+}

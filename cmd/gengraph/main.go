@@ -1,0 +1,65 @@
+// Command gengraph generates synthetic graph datasets as edge-list files —
+// the stand-ins for the Graphalytics datasets (see DESIGN.md §2).
+//
+// Usage:
+//
+//	gengraph -type rmat -scale 14 -edgefactor 16 -seed 1 -out rmat.el
+//	gengraph -type community -vertices 10000 -communities 32 -out comm.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grade10/internal/graph"
+)
+
+func main() {
+	var (
+		typ         = flag.String("type", "rmat", "graph type: rmat, community, ring, er")
+		scale       = flag.Int("scale", 12, "rmat: log2 of vertex count")
+		edgeFactor  = flag.Int("edgefactor", 16, "rmat/er: edges per vertex")
+		vertices    = flag.Int("vertices", 4096, "community/ring/er: vertex count")
+		communities = flag.Int("communities", 32, "community: community count")
+		intraDegree = flag.Int("intradegree", 6, "community: intra-community degree")
+		interFrac   = flag.Float64("interfraction", 0.05, "community: cross-community edge fraction")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		out         = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *typ {
+	case "rmat":
+		g = graph.RMAT(*scale, *edgeFactor, *seed)
+	case "community":
+		g = graph.Community(graph.CommunityParams{
+			Vertices: *vertices, Communities: *communities,
+			IntraDegree: *intraDegree, InterFraction: *interFrac, Seed: *seed,
+		})
+	case "ring":
+		g = graph.Ring(*vertices)
+	case "er":
+		g = graph.ErdosRenyi(*vertices, *vertices**edgeFactor, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+}

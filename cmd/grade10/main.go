@@ -1,0 +1,137 @@
+// Command grade10 analyzes a run directory produced by cmd/runsim: it builds
+// the framework models from the run metadata (or loads custom ones from
+// JSON), executes the full characterization pipeline (trace building,
+// resource attribution, bottleneck identification, performance-issue
+// detection), and prints the performance profile.
+//
+// Usage:
+//
+//	grade10 -run run/
+//	grade10 -run run/ -timeslice 20ms -untuned -csv consumption.csv
+//	grade10 -run run/ -dump-models giraph.json
+//	grade10 -run run/ -models custom.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grade10/internal/enginelog"
+	"grade10/internal/grade10"
+	"grade10/internal/report"
+	"grade10/internal/rundir"
+	"grade10/internal/vtime"
+)
+
+func main() {
+	var (
+		runDir    = flag.String("run", "", "run directory from cmd/runsim (required)")
+		timeslice = flag.Duration("timeslice", 0, "analysis timeslice (default 10ms)")
+		untuned   = flag.Bool("untuned", false, "giraph: analyze without attribution rules or GC/queue models")
+		csvOut    = flag.String("csv", "", "write per-timeslice consumption CSV to this file")
+		modelsIn  = flag.String("models", "", "load models from this JSON file instead of the built-ins")
+		modelsOut = flag.String("dump-models", "", "write the models used to this JSON file")
+	)
+	flag.Parse()
+	if *runDir == "" {
+		fmt.Fprintln(os.Stderr, "grade10: -run is required")
+		os.Exit(2)
+	}
+
+	run, err := rundir.Load(*runDir)
+	if err != nil {
+		fail(err)
+	}
+	models, log, err := resolveModels(run, *modelsIn, *untuned)
+	if err != nil {
+		fail(err)
+	}
+	if *modelsOut != "" {
+		f, err := os.Create(*modelsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := grade10.SaveModels(f, models); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "grade10: wrote %s\n", *modelsOut)
+	}
+
+	ts := grade10.DefaultTimeslice
+	if *timeslice > 0 {
+		ts = vtime.Duration(*timeslice)
+	}
+	out, err := grade10.Characterize(grade10.Input{
+		Log:        log,
+		Monitoring: run.Monitoring,
+		Models:     models,
+		Timeslice:  ts,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if err := report.WriteAll(os.Stdout, out); err != nil {
+		fail(err)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := report.WriteConsumptionCSV(f, out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "grade10: wrote %s\n", *csvOut)
+	}
+}
+
+// resolveModels picks the models: a JSON file when given, otherwise the
+// built-in framework model named in the run metadata (with the untuned
+// variant filtering GC/queue events from the log, as in Table II).
+func resolveModels(run *rundir.Run, modelsIn string, untuned bool) (grade10.Models, *enginelog.Log, error) {
+	if modelsIn != "" {
+		f, err := os.Open(modelsIn)
+		if err != nil {
+			return grade10.Models{}, nil, err
+		}
+		defer f.Close()
+		models, err := grade10.LoadModels(f)
+		return models, run.Log, err
+	}
+	params := grade10.ModelParams{
+		Job:              run.Info.Job,
+		Cores:            run.Info.Cores,
+		NetBandwidth:     run.Info.NetBandwidth,
+		DiskBandwidth:    run.Info.DiskBandwidth,
+		ThreadsPerWorker: run.Info.ThreadsPerWorker,
+	}
+	switch run.Info.Engine {
+	case "giraph":
+		if untuned {
+			models, err := grade10.GiraphModelUntuned(params)
+			log := grade10.FilterBlocking(run.Log, grade10.ResGC, grade10.ResMsgQueue)
+			return models, log, err
+		}
+		models, err := grade10.GiraphModel(params)
+		return models, run.Log, err
+	case "powergraph":
+		if untuned {
+			return grade10.Models{}, nil, fmt.Errorf("-untuned is only meaningful for the giraph engine")
+		}
+		models, err := grade10.PowerGraphModel(params)
+		return models, run.Log, err
+	default:
+		return grade10.Models{}, nil, fmt.Errorf("unknown engine %q in run metadata", run.Info.Engine)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package grade10 is a Go reproduction of "Grade10: A Framework for
+// Performance Characterization of Distributed Graph Processing" (Hegeman,
+// Trivedi, Iosup — IEEE CLUSTER 2020).
+//
+// The repository contains the Grade10 analyzer itself (execution/resource
+// models, timeslice-granular resource attribution with upsampling,
+// bottleneck identification, performance-issue detection) and the full
+// substrate its evaluation needs: a deterministic discrete-event cluster
+// simulator, a Giraph-like BSP engine, a PowerGraph-like GAS engine,
+// synthetic Graphalytics-style datasets, and the reference algorithms.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section.
+package grade10

@@ -1,0 +1,56 @@
+// Attribution-rules reproduces the scenario of the paper's Figure 3: the
+// same PageRank execution analyzed twice — once with no attribution rules
+// (every phase defaults to Variable 1x, GC invisible) and once with the
+// tuned Giraph model (each active compute thread demands exactly one core,
+// GC pauses modeled as blocking events). The tuned model's demand estimate
+// stays bounded by the thread count and Grade10 correctly concludes that
+// unblocked compute threads are CPU-bound.
+//
+//	go run ./examples/attribution-rules
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"grade10/internal/experiments"
+)
+
+func main() {
+	r, err := experiments.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintFig3(os.Stdout, r)
+
+	// Quantify the difference the rules make.
+	maxDemand := func(pts []experiments.Fig3Point) float64 {
+		m := 0.0
+		for _, p := range pts {
+			if p.Demand > m {
+				m = p.Demand
+			}
+		}
+		return m
+	}
+	count := func(pts []experiments.Fig3Point) int {
+		n := 0
+		for _, p := range pts {
+			if p.Bottlenecked {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Println()
+	fmt.Printf("peak demand estimate: untuned %.1f cores, tuned %.1f cores (machine has %g)\n",
+		maxDemand(r.Untuned), maxDemand(r.Tuned), r.Cores)
+	fmt.Printf("CPU-bottlenecked timeslices: untuned %d, tuned %d\n",
+		count(r.Untuned), count(r.Tuned))
+	fmt.Println()
+	fmt.Println("Without rules Grade10 overestimates demand and rarely flags the compute")
+	fmt.Println("threads as CPU-bound; with the tuned Exact(1 core) rule the demand never")
+	fmt.Println("exceeds the thread count and every unblocked compute slice is correctly")
+	fmt.Println("identified as CPU-bottlenecked — the paper's Figure 3 conclusion.")
+}

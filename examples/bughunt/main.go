@@ -1,0 +1,72 @@
+// Bughunt walks through §IV-D of the paper: finding a synchronization bug in
+// the PowerGraph-like engine from Grade10's automated imbalance and
+// straggler analysis, without ever looking at the engine's code.
+//
+// The engine carries an (optional) reproduction of the bug: occasionally one
+// gather thread keeps processing a late message stream while its siblings
+// idle at the barrier. We run the same CDLP job with the bug disabled and
+// enabled, and show how Grade10's reports separate ordinary data-driven
+// imbalance from the pathological stragglers.
+//
+//	go run ./examples/bughunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grade10/internal/experiments"
+	"grade10/internal/issues"
+	"grade10/internal/vtime"
+	"grade10/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{Dataset: workload.Datasets()[1], Algorithm: "cdlp"}
+
+	for _, buggy := range []bool{false, true} {
+		label := "fixed engine"
+		if buggy {
+			label = "buggy engine"
+		}
+		fmt.Printf("==== %s ====\n", label)
+
+		run, err := workload.RunPowerGraph(spec, experiments.PowerGraphConfig(2, buggy))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := run.Characterize(50*vtime.Millisecond, 10*vtime.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("makespan %v, %d injected stragglers\n",
+			run.Result.End, run.Result.Stats.BugInjections)
+
+		// Step 1 (§IV-D): the imbalance report points at gather phases.
+		for _, is := range out.Issues.Issues {
+			if is.Kind == issues.ImbalanceImpact {
+				fmt.Printf("  %s\n", is.Describe())
+			}
+		}
+
+		// Step 2: straggler detection localizes the threads to blame. In the
+		// fixed engine the same analysis stays quiet — the residual spread is
+		// ordinary degree skew, below the outlier threshold.
+		outs := issues.DetectOutliers(out.Trace, issues.Config{
+			OutlierFactor:           2.0,
+			MinOutlierGroupDuration: 10 * vtime.Millisecond,
+		})
+		if len(outs) == 0 {
+			fmt.Println("  no stragglers detected")
+		}
+		for _, o := range outs {
+			fmt.Printf("  straggler %s: %.2fx its siblings, step slowed %.2fx\n",
+				o.Phase.Path, o.Ratio, o.StepSlowdown)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The stragglers appear only with the bug present, always in gather")
+	fmt.Println("steps, one thread per affected worker — which is exactly the pattern")
+	fmt.Println("that led the paper's authors to PowerGraph's cross-thread barrier bug.")
+}

@@ -1,0 +1,131 @@
+// Custom-model shows how to onboard a new framework onto Grade10: define an
+// execution model and resource model for it, write (or parse) its logs,
+// provide attribution rules, and characterize — the "expert input defined
+// once, reused by many users" workflow of §III-B.
+//
+// The example invents a tiny two-stage dataflow engine ("mapshuffle") that
+// is not one of the built-in simulators: its log is constructed by hand, its
+// monitoring comes from a handwritten utilization series.
+//
+//	go run ./examples/custom-model
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"grade10/internal/cluster"
+	"grade10/internal/core"
+	"grade10/internal/enginelog"
+	"grade10/internal/grade10"
+	"grade10/internal/metrics"
+	"grade10/internal/report"
+	"grade10/internal/vtime"
+)
+
+const sec = vtime.Second
+
+func at(s float64) vtime.Time { return vtime.Time(vtime.FromSeconds(s)) }
+
+func main() {
+	// 1. Execution model: a job is map (2 parallel tasks per round, 2
+	// sequential rounds) followed by shuffle, then reduce.
+	root := core.NewRootType("mapshuffle")
+	round := root.Child("round", true)
+	round.Sequential = true
+	round.Child("map", true) // parallel map tasks
+	shuffle := round.Child("shuffle", false, "map")
+	shuffle.SyncGroup = true
+	root.Child("reduce", false, "round")
+	exec, err := core.NewExecutionModel(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Resource model: one 4-core machine class plus a lock that
+	// occasionally blocks map tasks.
+	res, err := core.NewResourceModel(
+		&core.Resource{Name: "cpu", Kind: core.Consumable, Capacity: 4, PerMachine: true},
+		&core.Resource{Name: "statelock", Kind: core.Blocking},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Attribution rules: a map task burns exactly one core; shuffle uses
+	// whatever CPU it can get; reduce is CPU-variable too.
+	rules := core.NewRuleSet()
+	rules.Set("/mapshuffle/round/map", "cpu", core.Exact(1)).
+		Set("/mapshuffle/round/shuffle", "cpu", core.Variable(0.5)).
+		Set("/mapshuffle/reduce", "cpu", core.Variable(1))
+
+	// 4. The execution log a real engine would emit (hand-written here).
+	var now vtime.Time
+	l := enginelog.NewLogger(func() vtime.Time { return now })
+	emit := func(t0, t1 float64, path string, machine int) {
+		now = at(t0)
+		l.StartPhase(path, machine)
+		now = at(t1)
+		l.EndPhase(path)
+	}
+	now = at(0)
+	l.StartPhase("/mapshuffle", -1)
+	// Round 0: two imbalanced maps on machine 0, one blocked on the lock.
+	now = at(0)
+	l.StartPhase("/mapshuffle/round.0", -1)
+	emit(0.0, 1.0, "/mapshuffle/round.0/map.0", 0)
+	now = at(0)
+	l.StartPhase("/mapshuffle/round.0/map.1", 0)
+	now = at(1.2)
+	l.BlockedSince("/mapshuffle/round.0/map.1", "statelock", at(0.4))
+	now = at(2.0)
+	l.EndPhase("/mapshuffle/round.0/map.1")
+	emit(2.0, 2.5, "/mapshuffle/round.0/shuffle", 0)
+	now = at(2.5)
+	l.EndPhase("/mapshuffle/round.0")
+	// Round 1: balanced maps.
+	now = at(2.5)
+	l.StartPhase("/mapshuffle/round.1", -1)
+	emit(2.5, 3.5, "/mapshuffle/round.1/map.0", 0)
+	emit(2.5, 3.4, "/mapshuffle/round.1/map.1", 0)
+	emit(3.5, 3.9, "/mapshuffle/round.1/shuffle", 0)
+	now = at(3.9)
+	l.EndPhase("/mapshuffle/round.1")
+	emit(3.9, 4.5, "/mapshuffle/reduce", 0)
+	now = at(4.5)
+	l.EndPhase("/mapshuffle")
+
+	// 5. Monitoring: one coarse CPU sample per second for machine 0.
+	truth := metrics.FromSteps(
+		metrics.Point{T: at(0), V: 2},   // two maps
+		metrics.Point{T: at(0.4), V: 1}, // one blocked
+		metrics.Point{T: at(1.2), V: 2}, // unblocked, other map done → lock holder + shuffle? keep 2
+		metrics.Point{T: at(2.0), V: 1.5},
+		metrics.Point{T: at(2.5), V: 2},
+		metrics.Point{T: at(3.5), V: 1},
+		metrics.Point{T: at(4.5), V: 0},
+	)
+	monitoring := []cluster.ResourceSamples{{
+		Machine: 0, Resource: "cpu", Capacity: 4,
+		Samples: metrics.SampleSeriesOf(truth, at(0), at(4.5), vtime.Second),
+	}}
+
+	// 6. Characterize with 100 ms timeslices.
+	out, err := grade10.Characterize(grade10.Input{
+		Log:        l.Log(),
+		Monitoring: monitoring,
+		Models:     grade10.Models{Exec: exec, Res: res, Rules: rules},
+		Timeslice:  100 * vtime.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteAll(os.Stdout, out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Note how the 1-second monitoring was upsampled to 100 ms timeslices")
+	fmt.Println("guided by the demand of the active phases, the statelock block shows")
+	fmt.Println("up as a blocking bottleneck, and round 0's map imbalance is costed.")
+}

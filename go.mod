@@ -1,0 +1,3 @@
+module grade10
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package algo provides sequential reference implementations of the
+// Graphalytics graph algorithms the paper evaluates (BFS, PageRank, WCC,
+// CDLP) plus SSSP and LCC as extensions. The simulated engines' distributed
+// vertex programs are validated against these implementations, so any
+// divergence is an engine bug, not an algorithm ambiguity.
+package algo
+
+import (
+	"math"
+
+	"grade10/internal/graph"
+)
+
+// Unreachable marks a vertex not reached by a traversal.
+const Unreachable = int64(math.MaxInt64)
+
+// BFS computes hop distances from root over out-edges. Unreached vertices get
+// Unreachable.
+func BFS(g *graph.Graph, root graph.Vertex) []int64 {
+	dist := make([]int64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[root] = 0
+	frontier := []graph.Vertex{root}
+	for depth := int64(1); len(frontier) > 0; depth++ {
+		var next []graph.Vertex
+		for _, v := range frontier {
+			for _, w := range g.OutNeighbors(v) {
+				if dist[w] == Unreachable {
+					dist[w] = depth
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// BFSLevels returns the frontier size at each depth, root at depth 0. Useful
+// for inspecting traversal irregularity.
+func BFSLevels(g *graph.Graph, root graph.Vertex) []int {
+	dist := BFS(g, root)
+	maxDepth := int64(-1)
+	for _, d := range dist {
+		if d != Unreachable && d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([]int, maxDepth+1)
+	for _, d := range dist {
+		if d != Unreachable {
+			levels[d]++
+		}
+	}
+	return levels
+}
+
+// EdgeWeight is the deterministic synthetic weight the repository uses for
+// SSSP (real Graphalytics datasets carry weights; synthetic graphs do not).
+func EdgeWeight(src, dst graph.Vertex) int64 {
+	h := (uint64(src)*0x9E3779B97F4A7C15 ^ uint64(dst)*0xC2B2AE3D27D4EB4F)
+	return int64(h%8) + 1 // weights 1..8
+}
+
+// SSSP computes single-source shortest paths over out-edges using EdgeWeight.
+// It is a label-correcting (Bellman-Ford-style) implementation matching the
+// vertex-centric semantics of the engines.
+func SSSP(g *graph.Graph, root graph.Vertex) []int64 {
+	dist := make([]int64, g.NumVertices())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[root] = 0
+	active := []graph.Vertex{root}
+	inNext := make([]bool, g.NumVertices())
+	for len(active) > 0 {
+		var next []graph.Vertex
+		for _, v := range active {
+			dv := dist[v]
+			for _, w := range g.OutNeighbors(v) {
+				if nd := dv + EdgeWeight(v, w); nd < dist[w] {
+					dist[w] = nd
+					if !inNext[w] {
+						inNext[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		for _, w := range next {
+			inNext[w] = false
+		}
+		active = next
+	}
+	return dist
+}
+
+// PageRank runs the synchronous power-iteration PageRank for a fixed number
+// of iterations with the given damping factor. Dangling mass is
+// redistributed uniformly, following the Graphalytics specification.
+func PageRank(g *graph.Graph, damping float64, iterations int) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1.0 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.OutDegree(graph.Vertex(v)) == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			d := g.OutDegree(graph.Vertex(v))
+			if d == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(d)
+			for _, w := range g.OutNeighbors(graph.Vertex(v)) {
+				next[w] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// WCC computes weakly connected components: each vertex is labeled with the
+// smallest vertex identifier in its component, edges treated as undirected.
+func WCC(g *graph.Graph) []graph.Vertex {
+	n := g.NumVertices()
+	label := make([]graph.Vertex, n)
+	for v := range label {
+		label[v] = graph.Vertex(v)
+	}
+	// Label-propagation to a fixed point, matching the engines' superstep
+	// semantics (min label spreads along undirected edges).
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			m := label[v]
+			for _, w := range g.OutNeighbors(graph.Vertex(v)) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			for _, w := range g.InNeighbors(graph.Vertex(v)) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			if m < label[v] {
+				label[v] = m
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// CDLP runs synchronous community detection by label propagation for a fixed
+// number of iterations (the Graphalytics formulation): every vertex adopts
+// the most frequent label among its in- and out-neighbors, breaking ties
+// toward the smallest label. Initial labels are vertex identifiers.
+func CDLP(g *graph.Graph, iterations int) []graph.Vertex {
+	n := g.NumVertices()
+	label := make([]graph.Vertex, n)
+	next := make([]graph.Vertex, n)
+	for v := range label {
+		label[v] = graph.Vertex(v)
+	}
+	counts := make(map[graph.Vertex]int)
+	for it := 0; it < iterations; it++ {
+		for v := 0; v < n; v++ {
+			clear(counts)
+			for _, w := range g.OutNeighbors(graph.Vertex(v)) {
+				counts[label[w]]++
+			}
+			for _, w := range g.InNeighbors(graph.Vertex(v)) {
+				counts[label[w]]++
+			}
+			next[v] = bestLabel(counts, label[v])
+		}
+		label, next = next, label
+	}
+	return label
+}
+
+// bestLabel picks the most frequent label, smallest label on ties; an
+// isolated vertex keeps its own label.
+func bestLabel(counts map[graph.Vertex]int, own graph.Vertex) graph.Vertex {
+	best := own
+	bestCount := 0
+	for l, c := range counts {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	return best
+}
+
+// LCC computes the local clustering coefficient of every vertex per the
+// Graphalytics definition: neighbors are the union of in- and out-neighbors;
+// the coefficient is the number of directed edges among the neighborhood
+// divided by d·(d−1), with d the neighborhood size. Vertices with d < 2 get 0.
+func LCC(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	lcc := make([]float64, n)
+	neighborSet := make(map[graph.Vertex]struct{})
+	for v := 0; v < n; v++ {
+		clear(neighborSet)
+		for _, w := range g.OutNeighbors(graph.Vertex(v)) {
+			if w != graph.Vertex(v) {
+				neighborSet[w] = struct{}{}
+			}
+		}
+		for _, w := range g.InNeighbors(graph.Vertex(v)) {
+			if w != graph.Vertex(v) {
+				neighborSet[w] = struct{}{}
+			}
+		}
+		d := len(neighborSet)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for u := range neighborSet {
+			for _, w := range g.OutNeighbors(u) {
+				if w == u {
+					continue
+				}
+				if _, ok := neighborSet[w]; ok {
+					links++
+				}
+			}
+		}
+		lcc[v] = float64(links) / float64(d*(d-1))
+	}
+	return lcc
+}

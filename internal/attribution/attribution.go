@@ -1,0 +1,404 @@
+// Package attribution implements Grade10's resource attribution process
+// (§III-D of the paper), the framework's core contribution. Given an
+// execution trace (timeslice-granular), a resource trace (coarse monitoring
+// samples), and attribution rules, it:
+//
+//  1. estimates per-timeslice resource demand from the None/Exact/Variable
+//     rules of the leaf phases active in each slice,
+//  2. upsamples each coarse monitoring measurement to timeslice granularity
+//     by superimposing the demand estimate on the measured average, and
+//  3. attributes the upsampled consumption of each timeslice to individual
+//     phases: Exact phases first (proportionally, capped at their demand),
+//     then the remainder across Variable phases by relative weight.
+//
+// The output is the paper's 3-D array — resource × timeslice × phase — plus
+// the upsampled utilization series used for bottleneck detection.
+package attribution
+
+import (
+	"fmt"
+	"math"
+
+	"grade10/internal/core"
+	"grade10/internal/metrics"
+	"grade10/internal/vtime"
+)
+
+// epsilon absorbs floating-point residue in unit·second accounting.
+const epsilon = 1e-9
+
+// PhaseUsage is the attributed consumption of one phase on one resource
+// instance: Rates[i] is the average rate (resource units) during timeslice
+// First+i.
+type PhaseUsage struct {
+	Phase *core.Phase
+	First int
+	Rates []float64
+}
+
+// Rate returns the attributed rate in slice k (zero outside the span).
+func (u *PhaseUsage) Rate(k int) float64 {
+	if k < u.First || k >= u.First+len(u.Rates) {
+		return 0
+	}
+	return u.Rates[k-u.First]
+}
+
+// Total returns the attributed consumption in unit·seconds.
+func (u *PhaseUsage) Total(slices core.Timeslices) float64 {
+	total := 0.0
+	for i, r := range u.Rates {
+		total += r * slices.SliceSeconds(u.First+i)
+	}
+	return total
+}
+
+// InstanceProfile is the attribution result for one resource instance.
+type InstanceProfile struct {
+	Instance *core.ResourceInstance
+	// Consumption[k] is the upsampled average rate during slice k.
+	Consumption []float64
+	// KnownDemand[k] is the summed Exact demand of active phases (units).
+	KnownDemand []float64
+	// VariableWeight[k] is the summed Variable weight of active phases.
+	VariableWeight []float64
+	// Usage lists the per-phase attribution; phases without any attributed
+	// consumption on this instance are omitted.
+	Usage []*PhaseUsage
+	// Unattributed[k] is consumption no rule could absorb (model mismatch
+	// diagnostic): consumption in a slice with no active Variable phase that
+	// exceeds the Exact demand.
+	Unattributed []float64
+
+	byPhase map[*core.Phase]*PhaseUsage
+}
+
+// UsageOf returns the usage record of a phase, or nil.
+func (ip *InstanceProfile) UsageOf(p *core.Phase) *PhaseUsage { return ip.byPhase[p] }
+
+// UpsampledSeries converts the per-slice consumption into a step function
+// over the profiled span.
+func (ip *InstanceProfile) UpsampledSeries(slices core.Timeslices) *metrics.Series {
+	s := &metrics.Series{}
+	for k := 0; k < slices.Count; k++ {
+		t0, _ := slices.Bounds(k)
+		s.Set(t0, ip.Consumption[k])
+	}
+	if slices.Count > 0 {
+		s.Set(slices.End, 0)
+	}
+	return s
+}
+
+// EstimatedDemand returns KnownDemand[k] + VariableWeight[k]: the demand
+// estimate plotted by the paper's Figure 3, interpreting a variable weight
+// of w as "about w units when unconstrained".
+func (ip *InstanceProfile) EstimatedDemand(k int) float64 {
+	return ip.KnownDemand[k] + ip.VariableWeight[k]
+}
+
+// Profile is the full attribution output.
+type Profile struct {
+	Trace     *core.ExecutionTrace
+	Slices    core.Timeslices
+	Rules     *core.RuleSet
+	Instances []*InstanceProfile
+
+	byKey map[string]*InstanceProfile
+}
+
+// Get returns the profile of a resource instance by name and machine, or
+// nil.
+func (p *Profile) Get(name string, machine int) *InstanceProfile {
+	if machine == core.GlobalMachine {
+		return p.byKey[name+"@global"]
+	}
+	return p.byKey[fmt.Sprintf("%s@%d", name, machine)]
+}
+
+// competitor is a leaf phase competing for a resource instance.
+type competitor struct {
+	phase *core.Phase
+	rule  core.Rule
+	usage *PhaseUsage
+}
+
+// Attribute runs the three-step attribution process over every resource
+// instance in the trace.
+func Attribute(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.RuleSet,
+	slices core.Timeslices) (*Profile, error) {
+	if slices.Count == 0 {
+		return nil, fmt.Errorf("attribution: empty timeslice span")
+	}
+	prof := &Profile{Trace: tr, Slices: slices, Rules: rules, byKey: map[string]*InstanceProfile{}}
+	leaves := tr.Leaves()
+	for _, ri := range rt.Instances() {
+		ip, err := attributeInstance(ri, leaves, rules, slices)
+		if err != nil {
+			return nil, err
+		}
+		prof.Instances = append(prof.Instances, ip)
+		prof.byKey[ri.Key()] = ip
+	}
+	return prof, nil
+}
+
+func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
+	rules *core.RuleSet, slices core.Timeslices) (*InstanceProfile, error) {
+	ip := &InstanceProfile{
+		Instance:       ri,
+		Consumption:    make([]float64, slices.Count),
+		KnownDemand:    make([]float64, slices.Count),
+		VariableWeight: make([]float64, slices.Count),
+		Unattributed:   make([]float64, slices.Count),
+		byPhase:        map[*core.Phase]*PhaseUsage{},
+	}
+
+	// Step 0: find competitors and their per-slice activity; accumulate the
+	// demand estimation matrix (§III-D1).
+	perSlice := make([][]competitorActivity, slices.Count)
+	var competitors []*competitor
+	for _, leaf := range leaves {
+		rule := rules.Get(leaf.Type.Path(), ri.Resource.Name)
+		if rule.Kind == core.RuleNone {
+			continue
+		}
+		if ri.Resource.PerMachine && leaf.Machine != ri.Machine {
+			continue
+		}
+		first, last := slices.Range(leaf.Start, leaf.End)
+		if first == last {
+			continue
+		}
+		c := &competitor{phase: leaf, rule: rule,
+			usage: &PhaseUsage{Phase: leaf, First: first, Rates: make([]float64, last-first)}}
+		competitors = append(competitors, c)
+		for k := first; k < last; k++ {
+			t0, t1 := slices.Bounds(k)
+			a := leaf.ActiveFraction(t0, t1)
+			if a <= 0 {
+				continue
+			}
+			switch rule.Kind {
+			case core.RuleExact:
+				ip.KnownDemand[k] += rule.Amount * a
+			case core.RuleVariable:
+				ip.VariableWeight[k] += rule.Amount * a
+			}
+			perSlice[k] = append(perSlice[k], competitorActivity{c, a})
+		}
+	}
+
+	// Step 1+2: upsample each monitoring measurement to slice granularity
+	// (§III-D2).
+	if err := upsample(ip, ri, slices); err != nil {
+		return nil, err
+	}
+
+	// Step 3: attribute per-slice consumption to phases (§III-D3).
+	for k := 0; k < slices.Count; k++ {
+		attributeSlice(ip, perSlice[k], k)
+	}
+
+	// Keep only phases that received any consumption.
+	for _, c := range competitors {
+		any := false
+		for _, r := range c.usage.Rates {
+			if r > epsilon {
+				any = true
+				break
+			}
+		}
+		if any {
+			ip.Usage = append(ip.Usage, c.usage)
+			ip.byPhase[c.phase] = c.usage
+		}
+	}
+	return ip, nil
+}
+
+type competitorActivity struct {
+	c        *competitor
+	activity float64
+}
+
+// upsample distributes each coarse measurement over its timeslices in
+// proportion to estimated demand, never exceeding the smaller of demand and
+// capacity, with the excess over Exact demand load-balanced across Variable
+// demand (§III-D2).
+func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices) error {
+	capUnit := ri.Resource.Capacity
+	for _, smp := range ri.Samples.Samples {
+		// Clip the measurement to the analyzed span; consumption outside it
+		// is out of scope and must not be squeezed into in-span slices.
+		w0 := vtime.Max(smp.Start, slices.Start)
+		w1 := vtime.Min(smp.End, slices.End)
+		if w1 <= w0 {
+			continue
+		}
+		first, last := slices.Range(w0, w1)
+		if first == last {
+			continue
+		}
+		n := last - first
+		// Per-slice overlap durations with this measurement window.
+		dur := make([]float64, n)
+		capAmt := make([]float64, n)   // capacity ceiling, unit·seconds
+		knownAmt := make([]float64, n) // Exact demand, unit·seconds (≤ cap)
+		varW := make([]float64, n)     // variable weight·seconds
+		alloc := make([]float64, n)
+		totalKnown := 0.0
+		for i := 0; i < n; i++ {
+			k := first + i
+			t0, t1 := slices.Bounds(k)
+			lo, hi := vtime.Max(t0, w0), vtime.Min(t1, w1)
+			d := hi.Sub(lo).Seconds()
+			if d <= 0 {
+				continue
+			}
+			dur[i] = d
+			capAmt[i] = capUnit * d
+			knownAmt[i] = math.Min(ip.KnownDemand[k], capUnit) * d
+			varW[i] = ip.VariableWeight[k] * d
+			totalKnown += knownAmt[i]
+		}
+		consumption := smp.Avg * w1.Sub(w0).Seconds() // in-span unit·seconds
+		if consumption <= epsilon {
+			continue
+		}
+
+		// First satisfy Exact demand, proportionally when scarce.
+		if consumption >= totalKnown {
+			copy(alloc, knownAmt)
+		} else if totalKnown > 0 {
+			f := consumption / totalKnown
+			for i := range alloc {
+				alloc[i] = knownAmt[i] * f
+			}
+		}
+		leftover := consumption
+		for _, a := range alloc {
+			leftover -= a
+		}
+
+		// Water-fill the remainder proportionally to Variable demand,
+		// respecting per-slice capacity headroom.
+		leftover = waterFill(alloc, leftover, varW, capAmt)
+		// Model mismatch fallbacks, in decreasing order of plausibility:
+		// excess consumption clings to the slices with Exact demand first
+		// (consumption correlates with demand), then spreads over remaining
+		// headroom, and as a last resort over window time, so mass is always
+		// conserved.
+		if leftover > epsilon {
+			leftover = waterFill(alloc, leftover, knownAmt, capAmt)
+		}
+		if leftover > epsilon {
+			head := make([]float64, n)
+			for i := range head {
+				head[i] = capAmt[i] - alloc[i]
+			}
+			leftover = waterFill(alloc, leftover, head, capAmt)
+		}
+		if leftover > epsilon {
+			for i := range alloc {
+				if dur[i] > 0 {
+					alloc[i] += leftover * dur[i] / w1.Sub(w0).Seconds()
+				}
+			}
+		}
+
+		// Consumption[k] is the average rate over the whole slice, so a
+		// measurement covering only part of a slice (misaligned windows)
+		// contributes its allocation spread over the full slice width;
+		// multiple windows touching the same slice then sum correctly.
+		for i := 0; i < n; i++ {
+			if dur[i] > 0 {
+				ip.Consumption[first+i] += alloc[i] / slices.SliceSeconds(first+i)
+			}
+		}
+	}
+	return nil
+}
+
+// waterFill distributes `amount` across alloc proportionally to weights,
+// clipping each bucket at ceil, iterating until the amount is exhausted or
+// no bucket can absorb more. It returns the undistributed remainder.
+func waterFill(alloc []float64, amount float64, weights, ceil []float64) float64 {
+	for amount > epsilon {
+		totalW := 0.0
+		for i := range weights {
+			if weights[i] > 0 && ceil[i]-alloc[i] > epsilon {
+				totalW += weights[i]
+			}
+		}
+		if totalW == 0 {
+			break
+		}
+		distributed := 0.0
+		for i := range weights {
+			if weights[i] <= 0 || ceil[i]-alloc[i] <= epsilon {
+				continue
+			}
+			share := amount * weights[i] / totalW
+			if head := ceil[i] - alloc[i]; share > head {
+				share = head
+			}
+			alloc[i] += share
+			distributed += share
+		}
+		if distributed <= epsilon {
+			break
+		}
+		amount -= distributed
+	}
+	if amount < 0 {
+		amount = 0
+	}
+	return amount
+}
+
+// attributeSlice splits the slice's upsampled consumption among the active
+// phases: Exact phases proportionally up to their demand, remainder across
+// Variable phases by weight (§III-D3).
+func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int) {
+	u := ip.Consumption[k]
+	if u <= epsilon || len(active) == 0 {
+		if u > epsilon {
+			ip.Unattributed[k] = u
+		}
+		return
+	}
+	totalExact := 0.0
+	totalVarW := 0.0
+	for _, ca := range active {
+		switch ca.c.rule.Kind {
+		case core.RuleExact:
+			totalExact += ca.c.rule.Amount * ca.activity
+		case core.RuleVariable:
+			totalVarW += ca.c.rule.Amount * ca.activity
+		}
+	}
+	exactScale := 1.0
+	if u < totalExact && totalExact > 0 {
+		exactScale = u / totalExact
+	}
+	givenExact := math.Min(u, totalExact)
+	remainder := u - givenExact
+	for _, ca := range active {
+		var share float64
+		switch ca.c.rule.Kind {
+		case core.RuleExact:
+			share = ca.c.rule.Amount * ca.activity * exactScale
+		case core.RuleVariable:
+			if totalVarW > 0 {
+				share = remainder * ca.c.rule.Amount * ca.activity / totalVarW
+			}
+		}
+		if share > 0 {
+			ca.c.usage.Rates[k-ca.c.usage.First] += share
+		}
+	}
+	if totalVarW == 0 && remainder > epsilon {
+		ip.Unattributed[k] = remainder
+	}
+}

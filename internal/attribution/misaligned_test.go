@@ -1,0 +1,153 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/core"
+	"grade10/internal/enginelog"
+	"grade10/internal/metrics"
+	"grade10/internal/vtime"
+)
+
+// buildSimple builds a one-phase trace over [0, endSec) with an Exact rule.
+func buildSimple(t *testing.T, endSec int64, rule core.Rule,
+	samples []metrics.Sample, width vtime.Duration) (*core.ExecutionTrace, *Profile) {
+	t.Helper()
+	root := core.NewRootType("job")
+	root.Child("a", false)
+	model, err := core.NewExecutionModel(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now vtime.Time
+	l := enginelog.NewLogger(func() vtime.Time { return now })
+	now = at(0)
+	l.StartPhase("/job", -1)
+	l.StartPhase("/job/a", -1)
+	now = at(endSec)
+	l.EndPhase("/job/a")
+	l.EndPhase("/job")
+	tr, err := core.BuildExecutionTrace(l.Log(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Resource{Name: "res", Kind: core.Consumable, Capacity: 100}
+	rt := core.NewResourceTrace()
+	if err := rt.Add(res, core.GlobalMachine, &metrics.SampleSeries{Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	rules := core.NewRuleSet()
+	rules.Set("/job/a", "res", rule)
+	slices := core.NewTimeslices(at(0), at(endSec), width)
+	prof, err := Attribute(tr, rt, rules, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, prof
+}
+
+// Monitoring windows that do not align with timeslice boundaries must still
+// conserve mass and place consumption proportionally.
+func TestMisalignedMonitoringWindows(t *testing.T) {
+	half := vtime.Time(sec / 2)
+	samples := []metrics.Sample{
+		{Start: at(0), End: at(1).Add(vtime.Duration(half)), Avg: 30}, // 1.5s window
+		{Start: at(1).Add(vtime.Duration(half)), End: at(4), Avg: 60}, // 2.5s window
+	}
+	_, prof := buildSimple(t, 4, core.Variable(1), samples, sec)
+	ip := prof.Get("res", core.GlobalMachine)
+
+	measured := 30*1.5 + 60*2.5
+	upsampled := 0.0
+	for k := 0; k < 4; k++ {
+		upsampled += ip.Consumption[k] // 1-second slices
+		if ip.Consumption[k] > 100+1e-9 {
+			t.Fatalf("slice %d exceeds capacity: %v", k, ip.Consumption[k])
+		}
+	}
+	if math.Abs(upsampled-measured) > 1e-6 {
+		t.Fatalf("mass %v, want %v", upsampled, measured)
+	}
+	// Slice 1 is split between both windows: 0.5s at each average →
+	// (30·0.5 + 60·0.5)/1 = 45 (uniform demand keeps window proportions).
+	if math.Abs(ip.Consumption[1]-45) > 1e-6 {
+		t.Fatalf("boundary slice consumption %v, want 45", ip.Consumption[1])
+	}
+}
+
+// Monitoring covering time outside the analyzed span is clipped rather than
+// misattributed.
+func TestMonitoringBeyondSpanClipped(t *testing.T) {
+	samples := []metrics.Sample{
+		{Start: at(0), End: at(2), Avg: 40},
+		{Start: at(2), End: at(6), Avg: 40}, // extends past the 3s trace
+	}
+	_, prof := buildSimple(t, 3, core.Variable(1), samples, sec)
+	ip := prof.Get("res", core.GlobalMachine)
+	total := 0.0
+	for k := 0; k < 3; k++ {
+		total += ip.Consumption[k]
+	}
+	// Only the in-span portions count: 40·2 + 40·1 = 120.
+	if math.Abs(total-120) > 1e-6 {
+		t.Fatalf("in-span mass %v, want 120", total)
+	}
+}
+
+// A measurement window entirely before the span contributes nothing.
+func TestMonitoringBeforeSpanIgnored(t *testing.T) {
+	samples := []metrics.Sample{
+		{Start: at(0), End: at(2), Avg: 80},
+	}
+	root := core.NewRootType("job")
+	root.Child("a", false)
+	model, err := core.NewExecutionModel(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now vtime.Time
+	l := enginelog.NewLogger(func() vtime.Time { return now })
+	now = at(4)
+	l.StartPhase("/job", -1)
+	l.StartPhase("/job/a", -1)
+	now = at(6)
+	l.EndPhase("/job/a")
+	l.EndPhase("/job")
+	tr, err := core.BuildExecutionTrace(l.Log(), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Resource{Name: "res", Kind: core.Consumable, Capacity: 100}
+	rt := core.NewResourceTrace()
+	if err := rt.Add(res, core.GlobalMachine, &metrics.SampleSeries{Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attribute(tr, rt, core.NewRuleSet(), core.NewTimeslices(at(4), at(6), sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := prof.Get("res", core.GlobalMachine)
+	for k, c := range ip.Consumption {
+		if c != 0 {
+			t.Fatalf("slice %d got %v from out-of-span monitoring", k, c)
+		}
+	}
+}
+
+// Odd timeslice widths that do not divide the span produce a short final
+// slice; attribution must handle it without losing mass.
+func TestShortFinalSlice(t *testing.T) {
+	samples := []metrics.Sample{{Start: at(0), End: at(5), Avg: 20}}
+	_, prof := buildSimple(t, 5, core.Variable(1), samples, 1500*vtime.Millisecond)
+	ip := prof.Get("res", core.GlobalMachine)
+	// Slices: 1.5, 1.5, 1.5, 0.5 seconds.
+	widths := []float64{1.5, 1.5, 1.5, 0.5}
+	total := 0.0
+	for k, w := range widths {
+		total += ip.Consumption[k] * w
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Fatalf("mass %v, want 100", total)
+	}
+}

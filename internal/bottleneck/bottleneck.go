@@ -1,0 +1,229 @@
+// Package bottleneck implements Grade10's resource-bottleneck identification
+// (§III-E of the paper). Three bottleneck classes are detected:
+//
+//   - Blocking: a phase stalled on a blocking resource (GC, message queue,
+//     barrier) — read directly from the blocking events in the trace.
+//   - Saturation: a consumable resource at full utilization; every phase
+//     consuming it during those timeslices is bottlenecked.
+//   - ExactLimit: a phase pinned at its own Exact demand while the resource
+//     still has headroom — the paper's "least understood" case, where a
+//     configuration cap (e.g. a thread limited to one core) is the limiter.
+package bottleneck
+
+import (
+	"sort"
+
+	"grade10/internal/attribution"
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+// Kind classifies a bottleneck.
+type Kind int
+
+const (
+	// Blocking: stalled on a blocking resource.
+	Blocking Kind = iota
+	// Saturation: competing for a fully-utilized consumable resource.
+	Saturation
+	// ExactLimit: pinned at the phase's own Exact demand below saturation.
+	ExactLimit
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Blocking:
+		return "blocking"
+	case Saturation:
+		return "saturation"
+	case ExactLimit:
+		return "exact-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes detection thresholds.
+type Config struct {
+	// SaturationThreshold is the utilization fraction of capacity at or
+	// above which a consumable resource counts as saturated. Default 0.99.
+	SaturationThreshold float64
+	// ExactTolerance is the fraction of a phase's Exact demand that must be
+	// attributed to it for the phase to count as pinned. Default 0.95.
+	ExactTolerance float64
+}
+
+// DefaultConfig returns the default thresholds.
+func DefaultConfig() Config {
+	return Config{SaturationThreshold: 0.99, ExactTolerance: 0.95}
+}
+
+func (c *Config) fill() {
+	if c.SaturationThreshold == 0 {
+		c.SaturationThreshold = 0.99
+	}
+	if c.ExactTolerance == 0 {
+		c.ExactTolerance = 0.95
+	}
+}
+
+// PhaseBottleneck records one (phase, resource) bottleneck.
+type PhaseBottleneck struct {
+	Phase *core.Phase
+	// Resource is the resource name; Machine the instance (GlobalMachine for
+	// blocking and global resources).
+	Resource string
+	Machine  int
+	Kind     Kind
+	// Time is the total bottlenecked duration within the phase.
+	Time vtime.Duration
+	// Slices lists the affected timeslices (consumable kinds only).
+	Slices []int
+}
+
+// Report is the detection result.
+type Report struct {
+	// Bottlenecks, sorted by phase path then resource then kind.
+	Bottlenecks []*PhaseBottleneck
+	// Saturated maps a resource instance key to its saturated slice indices.
+	Saturated map[string][]int
+
+	byPhase map[*core.Phase][]*PhaseBottleneck
+}
+
+// ForPhase returns the bottlenecks of one phase.
+func (r *Report) ForPhase(p *core.Phase) []*PhaseBottleneck { return r.byPhase[p] }
+
+// Detect runs all three detectors over an attribution profile.
+func Detect(prof *attribution.Profile, cfg Config) *Report {
+	cfg.fill()
+	rep := &Report{Saturated: map[string][]int{}, byPhase: map[*core.Phase][]*PhaseBottleneck{}}
+
+	detectBlocking(prof, rep)
+	detectConsumable(prof, cfg, rep)
+
+	sort.Slice(rep.Bottlenecks, func(i, j int) bool {
+		a, b := rep.Bottlenecks[i], rep.Bottlenecks[j]
+		if a.Phase.Path != b.Phase.Path {
+			return a.Phase.Path < b.Phase.Path
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.Kind < b.Kind
+	})
+	for _, b := range rep.Bottlenecks {
+		rep.byPhase[b.Phase] = append(rep.byPhase[b.Phase], b)
+	}
+	return rep
+}
+
+// detectBlocking turns blocking events into bottlenecks: any time a phase is
+// blocked, the blocking resource delays it (§III-E).
+func detectBlocking(prof *attribution.Profile, rep *Report) {
+	prof.Trace.Root.Walk(func(p *core.Phase) {
+		if p == prof.Trace.Root || len(p.Blocked) == 0 {
+			return
+		}
+		resources := map[string]bool{}
+		for _, b := range p.Blocked {
+			resources[b.Resource] = true
+		}
+		names := make([]string, 0, len(resources))
+		for name := range resources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+				Phase: p, Resource: name, Machine: core.GlobalMachine,
+				Kind: Blocking, Time: p.BlockedTime(name),
+			})
+		}
+	})
+}
+
+// detectConsumable finds saturation and exact-limit bottlenecks from the
+// upsampled per-slice consumption and per-phase attribution.
+func detectConsumable(prof *attribution.Profile, cfg Config, rep *Report) {
+	slices := prof.Slices
+	for _, ip := range prof.Instances {
+		capacity := ip.Instance.Resource.Capacity
+		satLevel := cfg.SaturationThreshold * capacity
+
+		var saturated []int
+		for k := 0; k < slices.Count; k++ {
+			if ip.Consumption[k] >= satLevel {
+				saturated = append(saturated, k)
+			}
+		}
+		if len(saturated) > 0 {
+			rep.Saturated[ip.Instance.Key()] = saturated
+		}
+
+		for _, usage := range ip.Usage {
+			rule := prof.Rules.Get(usage.Phase.Type.Path(), ip.Instance.Resource.Name)
+			var satSlices, exactSlices []int
+			var satTime, exactTime vtime.Duration
+			for i, rate := range usage.Rates {
+				k := usage.First + i
+				if rate <= 0 {
+					continue
+				}
+				t0, t1 := slices.Bounds(k)
+				active := usage.Phase.ActiveTime(t0, t1)
+				if active <= 0 {
+					continue
+				}
+				if ip.Consumption[k] >= satLevel {
+					satSlices = append(satSlices, k)
+					satTime += active
+					continue
+				}
+				if rule.Kind == core.RuleExact {
+					demand := rule.Amount * usage.Phase.ActiveFraction(t0, t1)
+					if demand > 0 && rate >= cfg.ExactTolerance*demand {
+						exactSlices = append(exactSlices, k)
+						exactTime += active
+					}
+				}
+			}
+			if len(satSlices) > 0 {
+				rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+					Phase: usage.Phase, Resource: ip.Instance.Resource.Name,
+					Machine: ip.Instance.Machine, Kind: Saturation,
+					Time: satTime, Slices: satSlices,
+				})
+			}
+			if len(exactSlices) > 0 {
+				rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+					Phase: usage.Phase, Resource: ip.Instance.Resource.Name,
+					Machine: ip.Instance.Machine, Kind: ExactLimit,
+					Time: exactTime, Slices: exactSlices,
+				})
+			}
+		}
+	}
+}
+
+// BottleneckFraction returns, for each resource name, the fraction of the
+// phase's duration it spent bottlenecked on that resource (by any kind).
+// Overlaps between kinds on the same resource are not double-counted beyond
+// the phase duration (values are clamped to 1).
+func BottleneckFraction(rep *Report, p *core.Phase) map[string]float64 {
+	out := map[string]float64{}
+	dur := p.Duration().Seconds()
+	if dur <= 0 {
+		return out
+	}
+	for _, b := range rep.byPhase[p] {
+		out[b.Resource] += b.Time.Seconds() / dur
+	}
+	for res, f := range out {
+		if f > 1 {
+			out[res] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package cluster assembles the simulation substrate into a machine cluster
+// and provides the monitoring side of the paper's pipeline: ground-truth
+// utilization series per machine resource, and Ganglia-style coarse sampling
+// of those series (component 3 of the paper's Figure 1).
+package cluster
+
+import (
+	"fmt"
+
+	"grade10/internal/metrics"
+	"grade10/internal/sim"
+	"grade10/internal/vtime"
+)
+
+// Standard machine resource names shared between the engines' monitoring
+// output and Grade10's resource models.
+const (
+	ResCPU    = "cpu"     // unit: cores
+	ResNetIn  = "net-in"  // unit: bytes/second
+	ResNetOut = "net-out" // unit: bytes/second
+	ResDisk   = "disk"    // unit: bytes/second
+)
+
+// MachineSpec describes the hardware of one simulated machine.
+type MachineSpec struct {
+	// Cores is the CPU core count.
+	Cores float64
+	// NetBandwidth is the full-duplex NIC bandwidth in bytes per second.
+	NetBandwidth float64
+	// DiskBandwidth is the storage bandwidth in bytes per second. Zero
+	// disables the disk resource (no meter, no monitoring rows).
+	DiskBandwidth float64
+}
+
+// Cluster is a set of identical machines on a shared network.
+type Cluster struct {
+	Sched *sim.Scheduler
+	Spec  MachineSpec
+	CPUs  []*sim.CPU
+	// Disks are fluid shared resources with capacity DiskBandwidth; nil
+	// when the spec has no disk. sim.CPU is a generic processor-sharing
+	// pool, here instantiated with "cores" = bytes/second.
+	Disks []*sim.CPU
+	Net   *sim.Network
+}
+
+// New builds a cluster of n machines with the given spec.
+func New(s *sim.Scheduler, n int, spec MachineSpec) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one machine")
+	}
+	if spec.Cores <= 0 || spec.NetBandwidth <= 0 {
+		panic("cluster: spec needs positive cores and bandwidth")
+	}
+	c := &Cluster{Sched: s, Spec: spec, Net: sim.NewNetwork(s, n, spec.NetBandwidth)}
+	for i := 0; i < n; i++ {
+		c.CPUs = append(c.CPUs, sim.NewCPU(s, spec.Cores))
+		if spec.DiskBandwidth > 0 {
+			c.Disks = append(c.Disks, sim.NewCPU(s, spec.DiskBandwidth))
+		}
+	}
+	return c
+}
+
+// ReadDisk performs a blocking storage transfer of the given bytes on
+// machine m, sharing the disk bandwidth with concurrent accessors. A no-op
+// when the spec has no disk.
+func (c *Cluster) ReadDisk(p *sim.Proc, m int, bytes float64) {
+	if c.Disks == nil || bytes <= 0 {
+		return
+	}
+	c.Disks[m].Compute(p, c.Spec.DiskBandwidth, bytes)
+}
+
+// NumMachines returns the machine count.
+func (c *Cluster) NumMachines() int { return len(c.CPUs) }
+
+// Capacity returns the capacity of the named resource in its absolute unit.
+func (c *Cluster) Capacity(resource string) (float64, error) {
+	switch resource {
+	case ResCPU:
+		return c.Spec.Cores, nil
+	case ResNetIn, ResNetOut:
+		return c.Spec.NetBandwidth, nil
+	case ResDisk:
+		if c.Disks == nil {
+			return 0, fmt.Errorf("cluster: no disk configured")
+		}
+		return c.Spec.DiskBandwidth, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown resource %q", resource)
+	}
+}
+
+// GroundTruth returns the exact utilization series of a machine resource in
+// absolute units (cores for CPU, bytes/second for network).
+func (c *Cluster) GroundTruth(machine int, resource string) (*metrics.Series, error) {
+	if machine < 0 || machine >= len(c.CPUs) {
+		return nil, fmt.Errorf("cluster: machine %d out of range", machine)
+	}
+	switch resource {
+	case ResCPU:
+		return c.CPUs[machine].Util.Scale(c.Spec.Cores), nil
+	case ResNetOut:
+		return c.Net.EgressUtil(machine).Scale(c.Spec.NetBandwidth), nil
+	case ResNetIn:
+		return c.Net.IngressUtil(machine).Scale(c.Spec.NetBandwidth), nil
+	case ResDisk:
+		if c.Disks == nil {
+			return nil, fmt.Errorf("cluster: no disk configured")
+		}
+		return c.Disks[machine].Util.Scale(c.Spec.DiskBandwidth), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown resource %q", resource)
+	}
+}
+
+// Resources lists the monitored resource names.
+func Resources() []string { return []string{ResCPU, ResNetIn, ResNetOut, ResDisk} }
+
+// ResourceSamples is the monitoring output for one machine resource: coarse
+// averages in absolute units, as a cluster monitoring system would report.
+type ResourceSamples struct {
+	Machine  int
+	Resource string
+	Capacity float64
+	Samples  *metrics.SampleSeries
+}
+
+// Monitor samples every machine resource over [t0, t1) at the given
+// interval, emulating a Ganglia-style monitoring system: each record is the
+// average consumption since the previous record.
+func Monitor(c *Cluster, t0, t1 vtime.Time, interval vtime.Duration) ([]ResourceSamples, error) {
+	var out []ResourceSamples
+	for m := 0; m < c.NumMachines(); m++ {
+		for _, res := range Resources() {
+			if res == ResDisk && c.Disks == nil {
+				continue
+			}
+			truth, err := c.GroundTruth(m, res)
+			if err != nil {
+				return nil, err
+			}
+			capacity, err := c.Capacity(res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ResourceSamples{
+				Machine:  m,
+				Resource: res,
+				Capacity: capacity,
+				Samples:  metrics.SampleSeriesOf(truth, t0, t1, interval),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grade10/internal/sim"
+	"grade10/internal/vtime"
+)
+
+// Noise is a set of per-machine background-load processes: the OS daemons,
+// interrupt handling, and runtime housekeeping that a real cluster always
+// carries and that no Grade10 model knows about. It is the principal source
+// of irreducible upsampling error in the Table II experiment — without it, a
+// simulated engine's CPU usage would be perfectly predicted by a tuned
+// demand model.
+type Noise struct {
+	stopped bool
+}
+
+// StartNoise spawns one background-load process per machine. Each process
+// alternates bursts of up to maxCores of CPU demand with idle gaps, with
+// durations drawn from the seeded generator. Stop ends the processes at
+// their next cycle; until then they keep the event queue alive.
+func StartNoise(c *Cluster, seed int64, maxCores float64) *Noise {
+	n := &Noise{}
+	if maxCores <= 0 {
+		n.stopped = true
+		return n
+	}
+	for m := 0; m < c.NumMachines(); m++ {
+		m := m
+		rng := rand.New(rand.NewSource(seed + int64(m)*7919))
+		c.Sched.Spawn(fmt.Sprintf("os-noise-%d", m), func(p *sim.Proc) {
+			for !n.stopped {
+				idle := vtime.Duration(20+rng.Intn(130)) * vtime.Millisecond
+				p.Sleep(idle)
+				if n.stopped {
+					return
+				}
+				demand := maxCores * (0.2 + 0.8*rng.Float64())
+				burst := (0.005 + 0.035*rng.Float64()) // seconds of busy time
+				c.CPUs[m].Compute(p, demand, demand*burst)
+			}
+		})
+	}
+	return n
+}
+
+// Stop makes every noise process exit at its next cycle boundary.
+func (n *Noise) Stop() { n.stopped = true }

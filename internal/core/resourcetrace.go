@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"grade10/internal/metrics"
+)
+
+// GlobalMachine is the machine index of a cluster-global resource instance.
+const GlobalMachine = -1
+
+// ResourceInstance is one monitored instance of a consumable resource: a
+// (resource, machine) pair, or (resource, GlobalMachine) for cluster-global
+// resources. Samples hold the coarse monitoring records to be upsampled.
+type ResourceInstance struct {
+	Resource *Resource
+	Machine  int
+	Samples  *metrics.SampleSeries
+}
+
+// Key returns a stable identifier like "cpu@2" or "lock@global".
+func (ri *ResourceInstance) Key() string {
+	if ri.Machine == GlobalMachine {
+		return ri.Resource.Name + "@global"
+	}
+	return fmt.Sprintf("%s@%d", ri.Resource.Name, ri.Machine)
+}
+
+// ResourceTrace is the set of monitored consumable resource instances for
+// one execution (§III-C). Blocking resources do not appear here: their data
+// arrives as blocking events inside the execution trace.
+type ResourceTrace struct {
+	instances []*ResourceInstance
+	byKey     map[string]*ResourceInstance
+}
+
+// NewResourceTrace creates an empty trace.
+func NewResourceTrace() *ResourceTrace {
+	return &ResourceTrace{byKey: map[string]*ResourceInstance{}}
+}
+
+// Add registers monitoring samples for a resource instance. Duplicate
+// instances and blocking resources are rejected.
+func (rt *ResourceTrace) Add(res *Resource, machine int, samples *metrics.SampleSeries) error {
+	if res.Kind != Consumable {
+		return fmt.Errorf("core: resource trace holds consumables only, got %q (%v)", res.Name, res.Kind)
+	}
+	if !res.PerMachine && machine != GlobalMachine {
+		return fmt.Errorf("core: global resource %q bound to machine %d", res.Name, machine)
+	}
+	if res.PerMachine && machine < 0 {
+		return fmt.Errorf("core: per-machine resource %q without machine", res.Name)
+	}
+	if err := samples.Validate(); err != nil {
+		return fmt.Errorf("core: resource %q machine %d: %v", res.Name, machine, err)
+	}
+	ri := &ResourceInstance{Resource: res, Machine: machine, Samples: samples}
+	if _, dup := rt.byKey[ri.Key()]; dup {
+		return fmt.Errorf("core: duplicate resource instance %s", ri.Key())
+	}
+	rt.instances = append(rt.instances, ri)
+	rt.byKey[ri.Key()] = ri
+	return nil
+}
+
+// Instances returns the instances sorted by key for deterministic iteration.
+func (rt *ResourceTrace) Instances() []*ResourceInstance {
+	out := make([]*ResourceInstance, len(rt.instances))
+	copy(out, rt.instances)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Get resolves an instance by resource name and machine, or nil.
+func (rt *ResourceTrace) Get(name string, machine int) *ResourceInstance {
+	if machine == GlobalMachine {
+		return rt.byKey[name+"@global"]
+	}
+	return rt.byKey[fmt.Sprintf("%s@%d", name, machine)]
+}

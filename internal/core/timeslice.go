@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"grade10/internal/vtime"
+)
+
+// Timeslices discretizes a time span into fixed-width slices (§III-C): the
+// paper assumes the SUT is in steady state within one slice. Slice k covers
+// [Start + k·Width, Start + (k+1)·Width); the final slice may be clipped by
+// the span end when the span is not a multiple of the width.
+type Timeslices struct {
+	Start vtime.Time
+	End   vtime.Time
+	Width vtime.Duration
+	Count int
+}
+
+// NewTimeslices covers [start, end) with slices of the given width.
+func NewTimeslices(start, end vtime.Time, width vtime.Duration) Timeslices {
+	if width <= 0 {
+		panic("core: timeslice width must be positive")
+	}
+	if end < start {
+		panic("core: timeslice span inverted")
+	}
+	span := end.Sub(start)
+	count := int((span + width - 1) / width)
+	return Timeslices{Start: start, End: end, Width: width, Count: count}
+}
+
+// Bounds returns the [t0, t1) interval of slice k.
+func (ts Timeslices) Bounds(k int) (vtime.Time, vtime.Time) {
+	if k < 0 || k >= ts.Count {
+		panic(fmt.Sprintf("core: timeslice %d out of range [0,%d)", k, ts.Count))
+	}
+	t0 := ts.Start.Add(vtime.Duration(k) * ts.Width)
+	t1 := vtime.Min(t0.Add(ts.Width), ts.End)
+	return t0, t1
+}
+
+// Covering returns the slice index containing instant t, clamped to the
+// valid range.
+func (ts Timeslices) Covering(t vtime.Time) int {
+	if ts.Count == 0 {
+		return 0
+	}
+	k := int(t.Sub(ts.Start) / ts.Width)
+	if k < 0 {
+		return 0
+	}
+	if k >= ts.Count {
+		return ts.Count - 1
+	}
+	return k
+}
+
+// Range returns the slice indices overlapping [t0, t1): first inclusive,
+// last exclusive.
+func (ts Timeslices) Range(t0, t1 vtime.Time) (int, int) {
+	if t1 <= t0 || ts.Count == 0 {
+		return 0, 0
+	}
+	first := ts.Covering(t0)
+	last := ts.Covering(t1-1) + 1
+	return first, last
+}
+
+// Width of slice k in seconds (the final slice may be short).
+func (ts Timeslices) SliceSeconds(k int) float64 {
+	t0, t1 := ts.Bounds(k)
+	return t1.Sub(t0).Seconds()
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"grade10/internal/metrics"
+)
+
+func TestTimeslices(t *testing.T) {
+	ts := NewTimeslices(at(100), at(350), 100*ms)
+	if ts.Count != 3 {
+		t.Fatalf("count %d", ts.Count)
+	}
+	t0, t1 := ts.Bounds(0)
+	if t0 != at(100) || t1 != at(200) {
+		t.Fatalf("slice 0 [%v,%v)", t0, t1)
+	}
+	t0, t1 = ts.Bounds(2)
+	if t0 != at(300) || t1 != at(350) {
+		t.Fatalf("clipped slice [%v,%v)", t0, t1)
+	}
+	if ts.SliceSeconds(2) != 0.05 {
+		t.Fatalf("slice seconds %v", ts.SliceSeconds(2))
+	}
+	if ts.Covering(at(150)) != 0 || ts.Covering(at(200)) != 1 || ts.Covering(at(340)) != 2 {
+		t.Fatal("Covering wrong")
+	}
+	if ts.Covering(at(0)) != 0 || ts.Covering(at(999)) != 2 {
+		t.Fatal("Covering clamp wrong")
+	}
+	first, last := ts.Range(at(150), at(310))
+	if first != 0 || last != 3 {
+		t.Fatalf("Range = [%d,%d)", first, last)
+	}
+	first, last = ts.Range(at(200), at(300))
+	if first != 1 || last != 2 {
+		t.Fatalf("exact Range = [%d,%d)", first, last)
+	}
+	if f, l := ts.Range(at(200), at(200)); f != l {
+		t.Fatalf("empty Range = [%d,%d)", f, l)
+	}
+}
+
+func TestTimeslicesEmptySpan(t *testing.T) {
+	ts := NewTimeslices(at(100), at(100), 10*ms)
+	if ts.Count != 0 {
+		t.Fatalf("count %d", ts.Count)
+	}
+}
+
+func TestTimeslicesBoundsPanics(t *testing.T) {
+	ts := NewTimeslices(at(0), at(100), 10*ms)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ts.Bounds(10)
+}
+
+func TestResourceTrace(t *testing.T) {
+	cpu := &Resource{Name: "cpu", Kind: Consumable, Capacity: 8, PerMachine: true}
+	lock := &Resource{Name: "lock", Kind: Blocking, PerMachine: false}
+	global := &Resource{Name: "coordsvc", Kind: Consumable, Capacity: 1, PerMachine: false}
+
+	samples := func() *metrics.SampleSeries {
+		return &metrics.SampleSeries{Samples: []metrics.Sample{
+			{Start: at(0), End: at(100), Avg: 4},
+		}}
+	}
+
+	rt := NewResourceTrace()
+	if err := rt.Add(cpu, 0, samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Add(cpu, 1, samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Add(global, GlobalMachine, samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Add(cpu, 0, samples()); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := rt.Add(lock, 0, samples()); err == nil {
+		t.Fatal("blocking resource accepted")
+	}
+	if err := rt.Add(global, 2, samples()); err == nil {
+		t.Fatal("machine-bound global accepted")
+	}
+	if err := rt.Add(cpu, GlobalMachine, samples()); err == nil {
+		t.Fatal("unbound per-machine accepted")
+	}
+	bad := &metrics.SampleSeries{Samples: []metrics.Sample{
+		{Start: at(10), End: at(10), Avg: 1},
+	}}
+	if err := rt.Add(cpu, 3, bad); err == nil {
+		t.Fatal("invalid samples accepted")
+	}
+
+	if got := rt.Get("cpu", 1); got == nil || got.Key() != "cpu@1" {
+		t.Fatalf("Get = %+v", got)
+	}
+	if got := rt.Get("coordsvc", GlobalMachine); got == nil || got.Key() != "coordsvc@global" {
+		t.Fatalf("global Get = %+v", got)
+	}
+	if rt.Get("cpu", 9) != nil {
+		t.Fatal("bogus Get succeeded")
+	}
+	inst := rt.Instances()
+	if len(inst) != 3 {
+		t.Fatalf("%d instances", len(inst))
+	}
+	for i := 1; i < len(inst); i++ {
+		if inst[i-1].Key() >= inst[i].Key() {
+			t.Fatal("instances not sorted")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/enginelog"
+	"grade10/internal/vtime"
+)
+
+const ms = vtime.Millisecond
+
+func at(msec int64) vtime.Time { return vtime.Time(msec) * vtime.Time(ms) }
+
+// logBuilder produces enginelog events at explicit times.
+type logBuilder struct {
+	now vtime.Time
+	l   *enginelog.Logger
+}
+
+func newLogBuilder() *logBuilder {
+	b := &logBuilder{}
+	b.l = enginelog.NewLogger(func() vtime.Time { return b.now })
+	return b
+}
+func (b *logBuilder) start(t vtime.Time, path string, machine int) *logBuilder {
+	b.now = t
+	b.l.StartPhase(path, machine)
+	return b
+}
+func (b *logBuilder) end(t vtime.Time, path string) *logBuilder {
+	b.now = t
+	b.l.EndPhase(path)
+	return b
+}
+func (b *logBuilder) block(t0, t1 vtime.Time, path, res string) *logBuilder {
+	b.now = t1
+	b.l.BlockedSince(path, res, t0)
+	return b
+}
+
+func simpleTrace(t *testing.T) *ExecutionTrace {
+	t.Helper()
+	m := buildBSPModel(t)
+	b := newLogBuilder()
+	b.start(at(0), "/app", -1).
+		start(at(0), "/app/load", 0).
+		end(at(100), "/app/load").
+		start(at(100), "/app/execute", -1).
+		start(at(100), "/app/execute/superstep.0", -1).
+		start(at(100), "/app/execute/superstep.0/worker.0", 0).
+		start(at(100), "/app/execute/superstep.0/worker.0/compute", -1).
+		start(at(100), "/app/execute/superstep.0/worker.1", 1).
+		start(at(100), "/app/execute/superstep.0/worker.1/compute", -1).
+		block(at(140), at(160), "/app/execute/superstep.0/worker.0/compute", "gc").
+		end(at(200), "/app/execute/superstep.0/worker.0/compute").
+		end(at(200), "/app/execute/superstep.0/worker.0").
+		end(at(250), "/app/execute/superstep.0/worker.1/compute").
+		end(at(250), "/app/execute/superstep.0/worker.1").
+		start(at(250), "/app/execute/superstep.0/barrier", -1).
+		end(at(260), "/app/execute/superstep.0/barrier").
+		end(at(260), "/app/execute/superstep.0").
+		end(at(260), "/app/execute").
+		start(at(260), "/app/write", -1).
+		end(at(300), "/app/write").
+		end(at(300), "/app")
+	tr, err := BuildExecutionTrace(b.l.Log(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildExecutionTrace(t *testing.T) {
+	tr := simpleTrace(t)
+	if tr.Start != at(0) || tr.End != at(300) {
+		t.Fatalf("span [%v,%v)", tr.Start, tr.End)
+	}
+	app := tr.ByPath["/app"]
+	if app == nil || len(app.Children) != 3 {
+		t.Fatalf("app children: %+v", app)
+	}
+	w0c := tr.ByPath["/app/execute/superstep.0/worker.0/compute"]
+	if w0c == nil {
+		t.Fatal("missing compute phase")
+	}
+	if w0c.Machine != 0 {
+		t.Fatalf("machine inheritance: %d", w0c.Machine)
+	}
+	w1c := tr.ByPath["/app/execute/superstep.0/worker.1/compute"]
+	if w1c.Machine != 1 {
+		t.Fatalf("machine inheritance: %d", w1c.Machine)
+	}
+	if len(w0c.Blocked) != 1 || w0c.Blocked[0].Resource != "gc" {
+		t.Fatalf("blocked = %+v", w0c.Blocked)
+	}
+	if w0c.Index() != -1 {
+		t.Fatalf("compute index %d", w0c.Index())
+	}
+	if got := tr.ByPath["/app/execute/superstep.0/worker.1"].Index(); got != 1 {
+		t.Fatalf("worker index %d", got)
+	}
+}
+
+func TestTraceLeavesAndPhasesOfType(t *testing.T) {
+	tr := simpleTrace(t)
+	leaves := tr.Leaves()
+	// load, compute×2, barrier, write = 5 leaves.
+	if len(leaves) != 5 {
+		t.Fatalf("%d leaves", len(leaves))
+	}
+	computes := tr.PhasesOfType("/app/execute/superstep/worker/compute")
+	if len(computes) != 2 {
+		t.Fatalf("%d computes", len(computes))
+	}
+	if computes[0].Path > computes[1].Path {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestActiveFraction(t *testing.T) {
+	tr := simpleTrace(t)
+	c := tr.ByPath["/app/execute/superstep.0/worker.0/compute"]
+	// Phase [100,200) with gc block [140,160).
+	if got := c.ActiveFraction(at(100), at(200)); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("active fraction %v", got)
+	}
+	// Slice fully inside the block.
+	if got := c.ActiveFraction(at(145), at(155)); got != 0 {
+		t.Fatalf("blocked slice fraction %v", got)
+	}
+	// Slice before the phase.
+	if got := c.ActiveFraction(at(0), at(50)); got != 0 {
+		t.Fatalf("pre-phase fraction %v", got)
+	}
+	// Partial overlap: [90,110) overlaps phase for 10ms of 20ms.
+	if got := c.ActiveFraction(at(90), at(110)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("partial fraction %v", got)
+	}
+}
+
+func TestAncestorBlockingPropagates(t *testing.T) {
+	m := buildBSPModel(t)
+	b := newLogBuilder()
+	b.start(at(0), "/app", -1).
+		start(at(0), "/app/execute", -1).
+		start(at(0), "/app/execute/superstep.0", -1).
+		start(at(0), "/app/execute/superstep.0/worker.0", 0).
+		start(at(0), "/app/execute/superstep.0/worker.0/compute", -1).
+		block(at(20), at(40), "/app/execute/superstep.0/worker.0", "gc").
+		end(at(100), "/app/execute/superstep.0/worker.0/compute").
+		end(at(100), "/app/execute/superstep.0/worker.0").
+		end(at(100), "/app/execute/superstep.0").
+		end(at(100), "/app/execute").
+		end(at(100), "/app")
+	tr, err := BuildExecutionTrace(b.l.Log(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.ByPath["/app/execute/superstep.0/worker.0/compute"]
+	// The worker-level block subtracts from the child's activity.
+	if got := c.ActiveFraction(at(0), at(100)); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("active fraction %v", got)
+	}
+}
+
+func TestBlockedTimeUnionsOverlaps(t *testing.T) {
+	p := &Phase{
+		Start: at(0), End: at(100),
+		Blocked: []BlockInterval{
+			{Resource: "gc", Start: at(10), End: at(30)},
+			{Resource: "gc", Start: at(20), End: at(40)},
+			{Resource: "queue", Start: at(50), End: at(60)},
+		},
+	}
+	if got := p.BlockedTime("gc"); got != 30*ms {
+		t.Fatalf("gc blocked %v", got)
+	}
+	if got := p.BlockedTime(""); got != 40*ms {
+		t.Fatalf("total blocked %v", got)
+	}
+	if got := p.BlockedTime("queue"); got != 10*ms {
+		t.Fatalf("queue blocked %v", got)
+	}
+}
+
+func TestBuildTraceErrors(t *testing.T) {
+	m := buildBSPModel(t)
+	type caseFn func(b *logBuilder)
+	cases := map[string]caseFn{
+		"unknown type": func(b *logBuilder) {
+			b.start(at(0), "/app", -1).start(at(0), "/app/mystery", -1).
+				end(at(10), "/app/mystery").end(at(10), "/app")
+		},
+		"orphan child": func(b *logBuilder) {
+			b.start(at(0), "/app/load", -1).end(at(10), "/app/load")
+		},
+		"unclosed phase": func(b *logBuilder) {
+			b.start(at(0), "/app", -1)
+		},
+		"duplicate start": func(b *logBuilder) {
+			b.start(at(0), "/app", -1).start(at(1), "/app", -1).end(at(10), "/app")
+		},
+		"end unknown": func(b *logBuilder) {
+			b.start(at(0), "/app", -1).end(at(5), "/app/load").end(at(10), "/app")
+		},
+		"child escapes parent": func(b *logBuilder) {
+			b.start(at(0), "/app", -1).start(at(0), "/app/load", -1).
+				end(at(5), "/app").end(at(10), "/app/load")
+		},
+		"block outside phase": func(b *logBuilder) {
+			b.start(at(10), "/app", -1).block(at(0), at(5), "/app", "gc").end(at(20), "/app")
+		},
+		"empty log": func(b *logBuilder) {},
+	}
+	for name, fn := range cases {
+		b := newLogBuilder()
+		fn(b)
+		if _, err := BuildExecutionTrace(b.l.Log(), m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package enginelog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"grade10/internal/vtime"
+)
+
+// Text format, one event per line (timestamps in virtual nanoseconds):
+//
+//	S <ts> <machine> <path>      phase start
+//	E <ts> <path>                phase end
+//	B <t0> <t1> <resource> <path> blocking interval
+//	C <ts> <name> <value>        counter
+//
+// Paths and resource names must not contain whitespace; engines use
+// slash/dot-structured identifiers, so this holds by construction.
+
+// Write serializes the log.
+func Write(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range log.Events {
+		var err error
+		switch e.Kind {
+		case PhaseStart:
+			_, err = fmt.Fprintf(bw, "S %d %d %s\n", int64(e.Time), e.Machine, e.Path)
+		case PhaseEnd:
+			_, err = fmt.Fprintf(bw, "E %d %s\n", int64(e.Time), e.Path)
+		case Blocked:
+			_, err = fmt.Fprintf(bw, "B %d %d %s %s\n", int64(e.Time), int64(e.End), e.Resource, e.Path)
+		case Counter:
+			_, err = fmt.Fprintf(bw, "C %d %s %g\n", int64(e.Time), e.Name, e.Value)
+		default:
+			err = fmt.Errorf("enginelog: unknown event kind %d", e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a log produced by Write. Blank lines and '#' comments are
+// skipped.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	log := &Log{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		e, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("enginelog: line %d: %v", lineNo, err)
+		}
+		log.Events = append(log.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	if len(fields) == 0 {
+		return Event{}, fmt.Errorf("empty event")
+	}
+	argc := map[string]int{"S": 4, "E": 3, "B": 5, "C": 4}[fields[0]]
+	if argc == 0 {
+		return Event{}, fmt.Errorf("unknown event tag %q", fields[0])
+	}
+	if len(fields) != argc {
+		return Event{}, fmt.Errorf("tag %q expects %d fields, got %d", fields[0], argc, len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad timestamp: %v", err)
+	}
+	switch fields[0] {
+	case "S":
+		machine, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Event{}, fmt.Errorf("bad machine: %v", err)
+		}
+		return Event{Kind: PhaseStart, Time: vtime.Time(ts), Machine: machine, Path: fields[3]}, nil
+	case "E":
+		return Event{Kind: PhaseEnd, Time: vtime.Time(ts), Path: fields[2]}, nil
+	case "B":
+		end, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad end timestamp: %v", err)
+		}
+		if end < ts {
+			return Event{}, fmt.Errorf("blocking interval ends before it starts")
+		}
+		return Event{Kind: Blocked, Time: vtime.Time(ts), End: vtime.Time(end),
+			Resource: fields[3], Path: fields[4]}, nil
+	default: // "C"
+		v, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad counter value: %v", err)
+		}
+		return Event{Kind: Counter, Time: vtime.Time(ts), Name: fields[2], Value: v}, nil
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure2QuotedNumbers(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(what string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+	approx("r2 slice2", r.Consumption["r2"][2], 15)
+	approx("r2 slice3", r.Consumption["r2"][3], 65)
+	approx("p3 on r2 slice3", r.PerPhase["r2"]["/job/p3"][3], 50)
+	approx("p2 on r2 slice3", r.PerPhase["r2"]["/job/p2"][3], 15)
+	approx("p2 on r3 slice2", r.PerPhase["r3"]["/job/p2"][2], 80)
+	approx("r3 slice3 saturated", r.Consumption["r3"][3], 100)
+
+	var buf bytes.Buffer
+	PrintFig2(&buf, r)
+	if !strings.Contains(buf.String(), "r2 (upsampled)") {
+		t.Fatal("print output malformed")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(Table2Ratios) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	get := func(system string, ratio int) Table2Row {
+		for _, r := range rows {
+			if r.System == system && r.Ratio == ratio {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", system, ratio)
+		return Table2Row{}
+	}
+
+	// Shape claims from the paper's Table II:
+	// 1. At 64×, the constant strawman is poor and the tuned models beat it.
+	for _, sys := range []string{"giraph-tuned", "powergraph"} {
+		r := get(sys, 64)
+		if r.Grade10Error >= r.ConstantError {
+			t.Errorf("%s at 64x: grade10 %.1f%% not better than constant %.1f%%",
+				sys, r.Grade10Error*100, r.ConstantError*100)
+		}
+	}
+	// 2. The tuned Giraph model beats the untuned one at high ratios.
+	if tu, un := get("giraph-tuned", 64), get("giraph-untuned", 64); tu.Grade10Error >= un.Grade10Error {
+		t.Errorf("tuned %.1f%% not better than untuned %.1f%% at 64x",
+			tu.Grade10Error*100, un.Grade10Error*100)
+	}
+	// 3. PowerGraph's comprehensive model stays accurate even at 64×
+	//    (paper: ≤15.28%; shape: below 35% here, and the best of the three).
+	pg := get("powergraph", 64)
+	if pg.Grade10Error > 0.35 {
+		t.Errorf("powergraph 64x error %.1f%% too high", pg.Grade10Error*100)
+	}
+	if tu := get("giraph-tuned", 64); pg.Grade10Error > tu.Grade10Error {
+		t.Errorf("powergraph 64x (%.1f%%) worse than giraph-tuned (%.1f%%)",
+			pg.Grade10Error*100, tu.Grade10Error*100)
+	}
+	// 4. Error grows with the ratio (moderate ratios are more accurate).
+	for _, sys := range []string{"giraph-tuned", "powergraph"} {
+		if lo, hi := get(sys, 8), get(sys, 64); lo.Grade10Error > hi.Grade10Error+1e-9 {
+			t.Errorf("%s: error at 8x (%.1f%%) exceeds 64x (%.1f%%)",
+				sys, lo.Grade10Error*100, hi.Grade10Error*100)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "giraph-tuned") {
+		t.Fatal("print output malformed")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	r, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tuned) == 0 || len(r.Untuned) != len(r.Tuned) {
+		t.Fatalf("series lengths %d/%d", len(r.Untuned), len(r.Tuned))
+	}
+	// Tuned demand never exceeds the thread count (the paper's key fix: an
+	// active thread demands exactly one core).
+	maxTuned, maxUntuned := 0.0, 0.0
+	for i := range r.Tuned {
+		if r.Tuned[i].Demand > maxTuned {
+			maxTuned = r.Tuned[i].Demand
+		}
+		if r.Untuned[i].Demand > maxUntuned {
+			maxUntuned = r.Untuned[i].Demand
+		}
+	}
+	if maxTuned > 8+1e-6 {
+		t.Errorf("tuned demand %v exceeds thread count", maxTuned)
+	}
+	// Tuned flags more CPU-bottlenecked slices than untuned (the paper:
+	// without rules Grade10 wrongly concludes Compute is rarely
+	// bottlenecked).
+	countB := func(pts []Fig3Point) int {
+		n := 0
+		for _, p := range pts {
+			if p.Bottlenecked {
+				n++
+			}
+		}
+		return n
+	}
+	bt, bu := countB(r.Tuned), countB(r.Untuned)
+	if bt <= bu {
+		t.Errorf("tuned bottleneck slices %d not more than untuned %d", bt, bu)
+	}
+	var buf bytes.Buffer
+	PrintFig3(&buf, r)
+	Fig3CSV(&buf, r)
+	if !strings.Contains(buf.String(), "Figure 3b") {
+		t.Fatal("print output malformed")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	r, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workers) == 0 {
+		t.Fatal("no workers in figure 6")
+	}
+	// The straggler dominates its siblings and slows the step.
+	if r.WorstThreadRatio < 1.3 {
+		t.Errorf("worst thread ratio %.2f too small", r.WorstThreadRatio)
+	}
+	if r.StepSlowdown < 1.1 {
+		t.Errorf("step slowdown %.2f too small", r.StepSlowdown)
+	}
+	// The paper: outliers affect a minority-but-real share of steps with
+	// slowdowns in roughly 1.1–2.5×.
+	if r.AffectedSteps == 0 || r.AffectedSteps > r.TotalSteps {
+		t.Errorf("affected %d of %d", r.AffectedSteps, r.TotalSteps)
+	}
+	if r.SlowdownMin < 1.0 || r.SlowdownMax < r.SlowdownMin {
+		t.Errorf("slowdown range %.2f–%.2f", r.SlowdownMin, r.SlowdownMax)
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, r)
+	if !strings.Contains(buf.String(), "worst straggler") {
+		t.Fatal("print output malformed")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 full simulations")
+	}
+	rows, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.System+"/"+r.Workload+"/"+r.Resource] = r.Impact
+	}
+	// Giraph: significant CPU impact on every workload; GC and msgqueue
+	// present on message-heavy ones. PowerGraph: no gc/msgqueue ever,
+	// network small.
+	for _, wl := range []string{"pagerank-rmat", "pagerank-datagen", "cdlp-datagen"} {
+		if byKey["giraph/"+wl+"/cpu"] < 0.10 {
+			t.Errorf("giraph %s cpu impact %.2f too small", wl, byKey["giraph/"+wl+"/cpu"])
+		}
+		if byKey["giraph/"+wl+"/gc"] <= 0 {
+			t.Errorf("giraph %s missing gc impact", wl)
+		}
+	}
+	for k, v := range byKey {
+		if strings.HasPrefix(k, "powergraph/") {
+			if strings.HasSuffix(k, "/gc") || strings.HasSuffix(k, "/msgqueue") {
+				t.Errorf("impossible powergraph bottleneck %s", k)
+			}
+			if (strings.HasSuffix(k, "/net-in") || strings.HasSuffix(k, "/net-out")) && v > 0.10 {
+				t.Errorf("powergraph network impact %s = %.2f too large", k, v)
+			}
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 8 full simulations")
+	}
+	rows, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(wl, pt string) float64 {
+		for _, r := range rows {
+			if r.Workload == wl && r.PhaseType == pt {
+				return r.Impact
+			}
+		}
+		t.Fatalf("missing %s/%s", wl, pt)
+		return 0
+	}
+	// CDLP gather imbalance is the headline result of the paper's Figure 5.
+	if get("cdlp-rmat", "gather") < 0.15 {
+		t.Errorf("cdlp-rmat gather imbalance %.2f too small", get("cdlp-rmat", "gather"))
+	}
+	if get("cdlp-datagen", "gather") < 0.05 {
+		t.Errorf("cdlp-datagen gather imbalance %.2f too small", get("cdlp-datagen", "gather"))
+	}
+	// Gather must dominate the other minor-steps for CDLP.
+	for _, pt := range []string{"apply", "scatter"} {
+		if get("cdlp-rmat", pt) >= get("cdlp-rmat", "gather") {
+			t.Errorf("cdlp-rmat %s (%v) not below gather", pt, get("cdlp-rmat", pt))
+		}
+	}
+}

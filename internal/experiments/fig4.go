@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"grade10/internal/issues"
+	"grade10/internal/workload"
+)
+
+// Fig4Row is one bar of Figure 4: the estimated impact of removing all
+// bottlenecks on one resource, for one workload on one system.
+type Fig4Row struct {
+	Workload string
+	System   string // "giraph" or "powergraph"
+	Resource string
+	// Impact is the fraction of makespan that could be saved.
+	Impact float64
+}
+
+// Figure4 reproduces Figure 4: bottleneck impact for the eight workloads on
+// both engines. The paper's shape: Giraph shows significant CPU bottlenecks
+// plus GC and message-queue bottlenecks; PowerGraph shows CPU bottlenecks,
+// small network impact, and no GC or queue bottlenecks at all.
+func Figure4() ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, spec := range workload.All() {
+		gr, err := workload.RunGiraph(spec, GiraphConfig(1))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 giraph %s: %w", spec.Name(), err)
+		}
+		gout, err := gr.Characterize(MonitorInterval, Timeslice)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 giraph %s: %w", spec.Name(), err)
+		}
+		rows = append(rows, fig4Rows(spec.Name(), "giraph", gout.Issues)...)
+
+		pr, err := workload.RunPowerGraph(spec, PowerGraphConfig(1, false))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 powergraph %s: %w", spec.Name(), err)
+		}
+		pout, err := pr.Characterize(MonitorInterval, Timeslice)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 powergraph %s: %w", spec.Name(), err)
+		}
+		rows = append(rows, fig4Rows(spec.Name(), "powergraph", pout.Issues)...)
+	}
+	return rows, nil
+}
+
+func fig4Rows(wl, system string, rep *issues.Report) []Fig4Row {
+	var out []Fig4Row
+	for _, is := range rep.Issues {
+		if is.Kind != issues.BottleneckImpact {
+			continue
+		}
+		out = append(out, Fig4Row{Workload: wl, System: system,
+			Resource: is.Resource, Impact: is.Impact})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// PrintFig4 renders the rows grouped by system and workload.
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SYSTEM\tWORKLOAD\tRESOURCE\tIMPACT")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f%%\n", r.System, r.Workload, r.Resource, r.Impact*100)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"grade10/internal/issues"
+	"grade10/internal/workload"
+)
+
+// Fig5PhaseTypes are the five key PowerGraph phase types analyzed for
+// imbalance, as in the paper's Figure 5.
+var Fig5PhaseTypes = []string{"gather", "exchange", "apply", "sync", "scatter"}
+
+// Fig5Row is one bar of Figure 5: the estimated impact of perfectly
+// balancing one phase type in one PowerGraph job.
+type Fig5Row struct {
+	Workload  string
+	PhaseType string // short name: gather/exchange/apply/sync/scatter
+	Impact    float64
+}
+
+// Figure5 reproduces Figure 5: workload imbalance impact across the five key
+// phase types for the eight PowerGraph jobs, run with the synchronization
+// bug present (as on the paper's real system). The paper's shape: imbalance
+// accounts for a significant share of execution time — most of all in CDLP's
+// Gather steps.
+func Figure5() ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, spec := range workload.All() {
+		run, err := workload.RunPowerGraph(spec, PowerGraphConfig(1, true))
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", spec.Name(), err)
+		}
+		out, err := run.Characterize(MonitorInterval, Timeslice)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", spec.Name(), err)
+		}
+		found := map[string]float64{}
+		for _, is := range out.Issues.Issues {
+			if is.Kind != issues.ImbalanceImpact {
+				continue
+			}
+			if short, ok := fig5Short(is.PhaseType); ok {
+				found[short] = is.Impact
+			}
+		}
+		for _, pt := range Fig5PhaseTypes {
+			rows = append(rows, Fig5Row{Workload: spec.Name(), PhaseType: pt, Impact: found[pt]})
+		}
+	}
+	return rows, nil
+}
+
+// fig5Short maps a full type path to the minor-step name it measures:
+// thread-level groups for gather/apply/scatter, worker-level leaves for the
+// exchanges.
+func fig5Short(typePath string) (string, bool) {
+	segs := strings.Split(strings.Trim(typePath, "/"), "/")
+	if len(segs) == 0 {
+		return "", false
+	}
+	last := segs[len(segs)-1]
+	if last == "thread" && len(segs) >= 2 {
+		last = segs[len(segs)-2]
+	}
+	for _, pt := range Fig5PhaseTypes {
+		if last == pt {
+			return pt, true
+		}
+	}
+	return "", false
+}
+
+// PrintFig5 renders a workload × phase-type impact matrix.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	byWorkload := map[string]map[string]float64{}
+	var order []string
+	for _, r := range rows {
+		m, ok := byWorkload[r.Workload]
+		if !ok {
+			m = map[string]float64{}
+			byWorkload[r.Workload] = m
+			order = append(order, r.Workload)
+		}
+		m[r.PhaseType] = r.Impact
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "WORKLOAD")
+	for _, pt := range Fig5PhaseTypes {
+		fmt.Fprintf(tw, "\t%s", strings.ToUpper(pt))
+	}
+	fmt.Fprintln(tw)
+	for _, wl := range order {
+		fmt.Fprint(tw, wl)
+		for _, pt := range Fig5PhaseTypes {
+			fmt.Fprintf(tw, "\t%.1f%%", byWorkload[wl][pt]*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestFig5ShortMapping(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"/cdlp/execute/iteration/worker/gather/thread", "gather", true},
+		{"/cdlp/execute/iteration/worker/apply/thread", "apply", true},
+		{"/cdlp/execute/iteration/worker/scatter/thread", "scatter", true},
+		{"/cdlp/execute/iteration/worker/exchange", "exchange", true},
+		{"/cdlp/execute/iteration/worker/sync", "sync", true},
+		{"/cdlp/execute/iteration/worker/barrier", "", false},
+		{"/cdlp/load/worker", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := fig5Short(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("fig5Short(%q) = %q,%v; want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestResampleHelper(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	out := resample(vals, 3)
+	if len(out) != 3 {
+		t.Fatalf("%d columns", len(out))
+	}
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("resample = %v", out)
+		}
+	}
+	// Short input passes through.
+	if got := resample(vals, 10); len(got) != len(vals) {
+		t.Fatal("short input resampled")
+	}
+}

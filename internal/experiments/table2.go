@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"grade10/internal/attribution"
+	"grade10/internal/cluster"
+	"grade10/internal/core"
+	"grade10/internal/enginelog"
+	"grade10/internal/grade10"
+	"grade10/internal/metrics"
+	"grade10/internal/vtime"
+	"grade10/internal/workload"
+)
+
+// Table2Ratios are the downsampling factors evaluated: monitoring intervals
+// of 100 ms (2×) through 3200 ms (64×) against 50 ms ground truth, matching
+// the paper.
+var Table2Ratios = []int{2, 4, 8, 16, 32, 64}
+
+// Table2Row is one cell group of Table II: the relative CPU upsampling error
+// of the constant strawman and of Grade10, for one system configuration and
+// monitoring granularity.
+type Table2Row struct {
+	// System is "giraph-untuned", "giraph-tuned", or "powergraph".
+	System string
+	// Ratio is the downsampling factor (interval = Ratio × 50 ms).
+	Ratio int
+	// ConstantError assumes constant consumption per measurement (strawman).
+	ConstantError float64
+	// Grade10Error uses demand-guided upsampling.
+	Grade10Error float64
+}
+
+// table2System bundles one system configuration's inputs.
+type table2System struct {
+	name   string
+	log    *enginelog.Log
+	models grade10.Models
+	cl     *cluster.Cluster
+	start  vtime.Time
+	end    vtime.Time
+}
+
+// Table2 reproduces Table II: it runs PageRank on both engines, prepares
+// ground truth at 50 ms, downsamples by each ratio, upsamples with Grade10's
+// attribution process, and reports the relative sampling error of machine
+// CPU usage, averaged over machines, against the 50 ms ground truth.
+func Table2() ([]Table2Row, error) {
+	spec := workload.Spec{Dataset: workload.Datasets()[0], Algorithm: "pagerank"}
+
+	// The scales lengthen the runs so even 3.2 s monitoring windows repeat
+	// several times within one job. The heap shrinks with it: allocation
+	// volume does not scale with compute cost, and the GC pressure is what
+	// separates the tuned Giraph model (GC pauses modeled) from the untuned
+	// one in the paper's Table II.
+	gcfg := GiraphConfig(12)
+	gcfg.HeapCapacity = 512 << 10
+	gr, err := workload.RunGiraph(spec, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	untuned, err := grade10.GiraphModelUntuned(grade10.ModelParams{
+		Job: "pagerank", Cores: gr.Config.Machine.Cores,
+		NetBandwidth:     gr.Config.Machine.NetBandwidth,
+		ThreadsPerWorker: gr.Config.ThreadsPerWorker,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := workload.RunPowerGraph(spec, PowerGraphConfig(60, false))
+	if err != nil {
+		return nil, err
+	}
+
+	systems := []table2System{
+		{
+			name: "giraph-untuned",
+			// The untuned analyst has no GC or queue model: those blocking
+			// events are invisible, and all rules default to Variable(1).
+			log:    grade10.FilterBlocking(gr.Result.Log, grade10.ResGC, grade10.ResMsgQueue),
+			models: untuned,
+			cl:     gr.Result.Cluster, start: gr.Result.Start, end: gr.Result.End,
+		},
+		{
+			name: "giraph-tuned", log: gr.Result.Log, models: gr.Models,
+			cl: gr.Result.Cluster, start: gr.Result.Start, end: gr.Result.End,
+		},
+		{
+			name: "powergraph", log: pr.Result.Log, models: pr.Models,
+			cl: pr.Result.Cluster, start: pr.Result.Start, end: pr.Result.End,
+		},
+	}
+
+	var rows []Table2Row
+	for _, sys := range systems {
+		sysRows, err := table2ForSystem(sys)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", sys.name, err)
+		}
+		rows = append(rows, sysRows...)
+	}
+	return rows, nil
+}
+
+func table2ForSystem(sys table2System) ([]Table2Row, error) {
+	tr, err := core.BuildExecutionTrace(sys.log, sys.models.Exec)
+	if err != nil {
+		return nil, err
+	}
+	// Timeslices at ground-truth granularity: upsampling reconstructs the
+	// 50 ms resolution the monitoring was originally collected at.
+	slices := core.NewTimeslices(tr.Start, tr.End, MonitorInterval)
+
+	cpuRes := sys.models.Res.Lookup(cluster.ResCPU)
+	machines := sys.cl.NumMachines()
+
+	// Ground truth: the exact utilization series, viewed at 50 ms.
+	truths := make([]*metrics.Series, machines)
+	grounds := make([]*metrics.SampleSeries, machines)
+	for m := 0; m < machines; m++ {
+		exact, err := sys.cl.GroundTruth(m, cluster.ResCPU)
+		if err != nil {
+			return nil, err
+		}
+		grounds[m] = metrics.SampleSeriesOf(exact, tr.Start, tr.End, MonitorInterval)
+		truths[m] = grounds[m].ToSeries()
+	}
+
+	var rows []Table2Row
+	for _, ratio := range Table2Ratios {
+		rt := core.NewResourceTrace()
+		coarse := make([]*metrics.SampleSeries, machines)
+		for m := 0; m < machines; m++ {
+			coarse[m] = grounds[m].Downsample(ratio)
+			if err := rt.Add(cpuRes, m, coarse[m]); err != nil {
+				return nil, err
+			}
+		}
+		prof, err := attribution.Attribute(tr, rt, sys.models.Rules, slices)
+		if err != nil {
+			return nil, err
+		}
+		constErr, g10Err := 0.0, 0.0
+		for m := 0; m < machines; m++ {
+			constSeries := coarse[m].ToSeries()
+			upsampled := prof.Get(cluster.ResCPU, m).UpsampledSeries(slices)
+			constErr += metrics.RelativeError(constSeries, truths[m], tr.Start, tr.End, MonitorInterval)
+			g10Err += metrics.RelativeError(upsampled, truths[m], tr.Start, tr.End, MonitorInterval)
+		}
+		rows = append(rows, Table2Row{
+			System: sys.name, Ratio: ratio,
+			ConstantError: constErr / float64(machines),
+			Grade10Error:  g10Err / float64(machines),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders the rows like the paper's Table II.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SYSTEM\tINTERVAL\tRATIO\tCONSTANT ERR\tGRADE10 ERR")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%d×\t%.2f%%\t%.2f%%\n",
+			r.System, vtime.Duration(r.Ratio)*MonitorInterval, r.Ratio,
+			r.ConstantError*100, r.Grade10Error*100)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,300 @@
+package giraphsim
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/algo"
+	"grade10/internal/enginelog"
+	"grade10/internal/graph"
+	"grade10/internal/vertexprog"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.ThreadsPerWorker = 4
+	return cfg
+}
+
+func runPR(t *testing.T, cfg Config, scale int) *Result {
+	t.Helper()
+	g := graph.RMAT(scale, 8, 42)
+	part := graph.HashPartition(g, cfg.Workers)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 5), part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPageRankResultsMatchReference(t *testing.T) {
+	g := graph.RMAT(9, 8, 42)
+	part := graph.HashPartition(g, 2)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 5), part, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.PageRank(g, 0.85, 5)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	if res.Stats.Supersteps != 5 {
+		t.Fatalf("supersteps %d", res.Stats.Supersteps)
+	}
+	if res.End <= res.Start {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestBFSResultsMatchReference(t *testing.T) {
+	g := graph.RMAT(9, 8, 7)
+	part := graph.HashPartition(g, 2)
+	res, err := Run(vertexprog.NewBFS(g, 0), part, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.BFS(g, 0)
+	for v := range want {
+		if want[v] == algo.Unreachable {
+			if !math.IsInf(res.Values[v], 1) {
+				t.Fatalf("dist[%d] = %v", v, res.Values[v])
+			}
+		} else if res.Values[v] != float64(want[v]) {
+			t.Fatalf("dist[%d] = %v, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+// logInvariants checks that the log is a well-formed phase tree: balanced
+// start/end, children within parents, blocks within phases.
+func logInvariants(t *testing.T, log *enginelog.Log) map[string]int {
+	t.Helper()
+	started := map[string]bool{}
+	ended := map[string]bool{}
+	kinds := map[string]int{}
+	for _, ev := range log.Events {
+		switch ev.Kind {
+		case enginelog.PhaseStart:
+			if started[ev.Path] {
+				t.Fatalf("double start %q", ev.Path)
+			}
+			started[ev.Path] = true
+			if parent := enginelog.Parent(ev.Path); parent != "/" {
+				if !started[parent] {
+					t.Fatalf("phase %q starts before parent", ev.Path)
+				}
+				if ended[parent] {
+					t.Fatalf("phase %q starts after parent ended", ev.Path)
+				}
+			}
+			kinds[enginelog.TypePath(ev.Path)]++
+		case enginelog.PhaseEnd:
+			if !started[ev.Path] || ended[ev.Path] {
+				t.Fatalf("bad end %q", ev.Path)
+			}
+			ended[ev.Path] = true
+		case enginelog.Blocked:
+			if !started[ev.Path] {
+				t.Fatalf("block on unstarted %q", ev.Path)
+			}
+			if ev.End < ev.Time {
+				t.Fatalf("inverted block interval on %q", ev.Path)
+			}
+		}
+	}
+	for p := range started {
+		if !ended[p] {
+			t.Fatalf("phase %q never ended", p)
+		}
+	}
+	return kinds
+}
+
+func TestLogStructure(t *testing.T) {
+	res := runPR(t, smallConfig(), 9)
+	kinds := logInvariants(t, res.Log)
+	// Expected phase type counts for 2 workers, 5 supersteps.
+	expect := map[string]int{
+		"/pagerank":                                      1,
+		"/pagerank/load":                                 1,
+		"/pagerank/load/worker":                          2,
+		"/pagerank/execute":                              1,
+		"/pagerank/execute/superstep":                    5,
+		"/pagerank/execute/superstep/worker":             10,
+		"/pagerank/execute/superstep/worker/prepare":     10,
+		"/pagerank/execute/superstep/worker/compute":     10,
+		"/pagerank/execute/superstep/worker/communicate": 10,
+		"/pagerank/execute/superstep/worker/barrier":     10,
+		"/pagerank/write":                                1,
+		"/pagerank/write/worker":                         2,
+	}
+	for tp, want := range expect {
+		if kinds[tp] != want {
+			t.Errorf("%s: %d instances, want %d", tp, kinds[tp], want)
+		}
+	}
+	if kinds["/pagerank/execute/superstep/worker/compute/thread"] != 40 {
+		t.Errorf("threads: %d, want 40", kinds["/pagerank/execute/superstep/worker/compute/thread"])
+	}
+}
+
+func TestGCOccursUnderHeapPressure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HeapCapacity = 256 << 10 // 256 KiB: frequent GC
+	res := runPR(t, cfg, 11)
+	if res.Stats.GCCount == 0 {
+		t.Fatal("no GC despite tiny heap")
+	}
+	gcBlocks := 0
+	for _, ev := range res.Log.Events {
+		if ev.Kind == enginelog.Blocked && ev.Resource == ResGC {
+			gcBlocks++
+		}
+	}
+	if gcBlocks != res.Stats.GCCount {
+		t.Fatalf("gc blocks %d vs stat %d", gcBlocks, res.Stats.GCCount)
+	}
+}
+
+func TestNoGCWithHugeHeap(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HeapCapacity = 1 << 40
+	res := runPR(t, cfg, 9)
+	if res.Stats.GCCount != 0 {
+		t.Fatalf("%d GCs with huge heap", res.Stats.GCCount)
+	}
+}
+
+func TestQueueStallsUnderSlowNetwork(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Machine.NetBandwidth = 2e6 // 2 MB/s: drain far slower than production
+	cfg.QueueCapacity = 64 << 10
+	cfg.CommChunkBytes = 16 << 10
+	res := runPR(t, cfg, 11)
+	if res.Stats.QueueStalls == 0 {
+		t.Fatal("no queue stalls despite slow network")
+	}
+	stallBlocks := 0
+	for _, ev := range res.Log.Events {
+		if ev.Kind == enginelog.Blocked && ev.Resource == ResMsgQueue {
+			stallBlocks++
+		}
+	}
+	if stallBlocks != res.Stats.QueueStalls {
+		t.Fatalf("stall blocks %d vs stat %d", stallBlocks, res.Stats.QueueStalls)
+	}
+	// And the run completes correctly regardless.
+	if res.Stats.Supersteps != 5 {
+		t.Fatalf("supersteps %d", res.Stats.Supersteps)
+	}
+}
+
+func TestFastNetworkFewStalls(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Machine.NetBandwidth = 10e9
+	cfg.QueueCapacity = 64 << 10
+	cfg.CommChunkBytes = 16 << 10
+	res := runPR(t, cfg, 11)
+	slow := smallConfig()
+	slow.Machine.NetBandwidth = 2e6
+	slow.QueueCapacity = 64 << 10
+	slow.CommChunkBytes = 16 << 10
+	resSlow := runPR(t, slow, 11)
+	if res.Stats.QueueStallTime >= resSlow.Stats.QueueStallTime {
+		t.Fatalf("fast net stall %v ≥ slow net stall %v",
+			res.Stats.QueueStallTime, resSlow.Stats.QueueStallTime)
+	}
+	if res.End >= resSlow.End {
+		t.Fatalf("fast net run %v not faster than slow %v", res.End, resSlow.End)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runPR(t, smallConfig(), 8)
+	b := runPR(t, smallConfig(), 8)
+	if a.End != b.End {
+		t.Fatalf("nondeterministic end: %v vs %v", a.End, b.End)
+	}
+	if len(a.Log.Events) != len(b.Log.Events) {
+		t.Fatalf("nondeterministic log: %d vs %d events", len(a.Log.Events), len(b.Log.Events))
+	}
+	for i := range a.Log.Events {
+		if a.Log.Events[i] != b.Log.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBarrierWaitsLogged(t *testing.T) {
+	res := runPR(t, smallConfig(), 9)
+	barrierBlocks := 0
+	for _, ev := range res.Log.Events {
+		if ev.Kind == enginelog.Blocked && ev.Resource == ResBarrier {
+			barrierBlocks++
+		}
+	}
+	// With data-driven imbalance at least some worker must wait at some
+	// barrier across 5 supersteps.
+	if barrierBlocks == 0 {
+		t.Fatal("no barrier waits logged")
+	}
+}
+
+func TestMessagesCountedAndTransferred(t *testing.T) {
+	res := runPR(t, smallConfig(), 9)
+	if res.Stats.MessagesSent == 0 || res.Stats.BytesSent == 0 {
+		t.Fatal("no remote messages")
+	}
+	// Network ground truth must show the sent bytes.
+	sent := 0.0
+	for m := 0; m < res.Cluster.NumMachines(); m++ {
+		truth, err := res.Cluster.GroundTruth(m, "net-out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += truth.Integral(res.Start, res.End)
+	}
+	if math.Abs(sent-res.Stats.BytesSent) > 1e-3*res.Stats.BytesSent {
+		t.Fatalf("network carried %v bytes, engine sent %v", sent, res.Stats.BytesSent)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Ring(8)
+	part := graph.HashPartition(g, 2)
+	prog := vertexprog.NewBFS(g, 0)
+
+	bad := smallConfig()
+	bad.Workers = 0
+	if _, err := Run(prog, part, bad); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	mismatch := smallConfig()
+	mismatch.Workers = 3
+	if _, err := Run(prog, part, mismatch); err == nil {
+		t.Fatal("partition mismatch accepted")
+	}
+	badQ := smallConfig()
+	badQ.CommChunkBytes = badQ.QueueCapacity * 2
+	if _, err := Run(prog, part, badQ); err == nil {
+		t.Fatal("oversized comm chunk accepted")
+	}
+}
+
+func TestWCCOnEngine(t *testing.T) {
+	g := graph.RMAT(8, 6, 13)
+	part := graph.HashPartition(g, 2)
+	res, err := Run(vertexprog.NewWCC(g), part, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.WCC(g)
+	for v := range want {
+		if res.Values[v] != float64(want[v]) {
+			t.Fatalf("label[%d] = %v, want %d", v, res.Values[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package grade10
+
+import (
+	"fmt"
+
+	"grade10/internal/attribution"
+	"grade10/internal/bottleneck"
+	"grade10/internal/cluster"
+	"grade10/internal/core"
+	"grade10/internal/enginelog"
+	"grade10/internal/issues"
+	"grade10/internal/vtime"
+)
+
+// Input bundles everything one characterization run consumes (the paper's
+// Figure 1: monitoring + logs + models).
+type Input struct {
+	// Log is the engine's execution log.
+	Log *enginelog.Log
+	// Monitoring holds the coarse resource samples per machine resource.
+	Monitoring []cluster.ResourceSamples
+	// Models are the framework's expert inputs.
+	Models Models
+	// Timeslice is the analysis granularity (§III-C); default 10ms.
+	Timeslice vtime.Duration
+	// BottleneckConfig and IssueConfig tune detection; zero values take
+	// defaults.
+	BottleneckConfig bottleneck.Config
+	IssueConfig      issues.Config
+}
+
+// Output is the full performance profile of one execution.
+type Output struct {
+	Trace       *core.ExecutionTrace
+	Slices      core.Timeslices
+	Profile     *attribution.Profile
+	Bottlenecks *bottleneck.Report
+	Issues      *issues.Report
+}
+
+// DefaultTimeslice is the paper's "tens of milliseconds" granularity.
+const DefaultTimeslice = 10 * vtime.Millisecond
+
+// Characterize runs the full Grade10 pipeline: parse the log into an
+// execution trace, assemble the resource trace from monitoring, attribute
+// resources at timeslice granularity, and detect bottlenecks and issues.
+func Characterize(in Input) (*Output, error) {
+	if in.Log == nil {
+		return nil, fmt.Errorf("grade10: no execution log")
+	}
+	if in.Timeslice == 0 {
+		in.Timeslice = DefaultTimeslice
+	}
+	tr, err := core.BuildExecutionTrace(in.Log, in.Models.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("grade10: parsing log: %w", err)
+	}
+
+	rt := core.NewResourceTrace()
+	for _, rs := range in.Monitoring {
+		res := in.Models.Res.Lookup(rs.Resource)
+		if res == nil || res.Kind != core.Consumable {
+			continue // monitored but not modeled: ignored, as in the paper
+		}
+		machine := rs.Machine
+		if !res.PerMachine {
+			machine = core.GlobalMachine
+		}
+		if err := rt.Add(res, machine, rs.Samples); err != nil {
+			return nil, fmt.Errorf("grade10: resource trace: %w", err)
+		}
+	}
+
+	slices := core.NewTimeslices(tr.Start, tr.End, in.Timeslice)
+	prof, err := attribution.Attribute(tr, rt, in.Models.Rules, slices)
+	if err != nil {
+		return nil, fmt.Errorf("grade10: attribution: %w", err)
+	}
+	btl := bottleneck.Detect(prof, in.BottleneckConfig)
+	iss := issues.Analyze(prof, btl, in.IssueConfig)
+
+	return &Output{Trace: tr, Slices: slices, Profile: prof, Bottlenecks: btl, Issues: iss}, nil
+}
+
+// FilterBlocking returns a copy of the log without blocking events on the
+// named resources. Used to build "untuned" models that do not know about GC
+// or queue stalls (Table II's untuned configuration).
+func FilterBlocking(log *enginelog.Log, resources ...string) *enginelog.Log {
+	drop := map[string]bool{}
+	for _, r := range resources {
+		drop[r] = true
+	}
+	out := &enginelog.Log{}
+	for _, e := range log.Events {
+		if e.Kind == enginelog.Blocked && drop[e.Resource] {
+			continue
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// MonitorCluster samples a finished run's cluster at the given interval over
+// [start, end), producing the Monitoring input for Characterize.
+func MonitorCluster(c *cluster.Cluster, start, end vtime.Time,
+	interval vtime.Duration) ([]cluster.ResourceSamples, error) {
+	return cluster.Monitor(c, start, end, interval)
+}

@@ -1,0 +1,168 @@
+package grade10
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"grade10/internal/core"
+)
+
+// Models serialize to JSON so that expert input can be defined once, checked
+// into a repository, and shared across users and tools (§III-B: "defined
+// once, typically by a domain expert... reused by many users").
+
+type phaseTypeJSON struct {
+	Name         string          `json:"name"`
+	Repeated     bool            `json:"repeated,omitempty"`
+	Sequential   bool            `json:"sequential,omitempty"`
+	SyncGroup    bool            `json:"sync_group,omitempty"`
+	ElasticWaits bool            `json:"elastic_waits,omitempty"`
+	After        []string        `json:"after,omitempty"`
+	Children     []phaseTypeJSON `json:"children,omitempty"`
+}
+
+type resourceJSON struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"` // "consumable" or "blocking"
+	Capacity   float64 `json:"capacity,omitempty"`
+	PerMachine bool    `json:"per_machine,omitempty"`
+}
+
+type ruleJSON struct {
+	PhaseType string  `json:"phase_type"`
+	Resource  string  `json:"resource"`
+	Kind      string  `json:"kind"` // "none", "exact", "variable"
+	Amount    float64 `json:"amount,omitempty"`
+}
+
+type modelsJSON struct {
+	Execution phaseTypeJSON  `json:"execution"`
+	Resources []resourceJSON `json:"resources"`
+	Rules     []ruleJSON     `json:"rules"`
+}
+
+// SaveModels writes the models as JSON.
+func SaveModels(w io.Writer, m Models) error {
+	doc := modelsJSON{Execution: encodePhaseType(m.Exec.Root)}
+	for _, r := range m.Res.Resources() {
+		doc.Resources = append(doc.Resources, resourceJSON{
+			Name: r.Name, Kind: r.Kind.String(), Capacity: r.Capacity, PerMachine: r.PerMachine,
+		})
+	}
+	doc.Rules = encodeRules(m)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func encodePhaseType(t *core.PhaseType) phaseTypeJSON {
+	out := phaseTypeJSON{
+		Name: t.Name, Repeated: t.Repeated, Sequential: t.Sequential,
+		SyncGroup: t.SyncGroup, ElasticWaits: t.ElasticWaits, After: t.After,
+	}
+	for _, c := range t.Children() {
+		out.Children = append(out.Children, encodePhaseType(c))
+	}
+	return out
+}
+
+// encodeRules walks every (type, resource) pair and emits the explicit ones.
+func encodeRules(m Models) []ruleJSON {
+	var out []ruleJSON
+	for _, tp := range m.Exec.TypePaths() {
+		for _, r := range m.Res.Resources() {
+			if !m.Rules.Explicit(tp, r.Name) {
+				continue
+			}
+			rule := m.Rules.Get(tp, r.Name)
+			out = append(out, ruleJSON{
+				PhaseType: tp, Resource: r.Name,
+				Kind: rule.Kind.String(), Amount: rule.Amount,
+			})
+		}
+	}
+	return out
+}
+
+// LoadModels parses models written by SaveModels.
+func LoadModels(r io.Reader) (Models, error) {
+	var doc modelsJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Models{}, fmt.Errorf("grade10: parsing models: %w", err)
+	}
+
+	root, err := decodePhaseType(doc.Execution, nil)
+	if err != nil {
+		return Models{}, err
+	}
+	exec, err := core.NewExecutionModel(root)
+	if err != nil {
+		return Models{}, err
+	}
+
+	var resources []*core.Resource
+	for _, rj := range doc.Resources {
+		var kind core.ResourceKind
+		switch rj.Kind {
+		case "consumable":
+			kind = core.Consumable
+		case "blocking":
+			kind = core.Blocking
+		default:
+			return Models{}, fmt.Errorf("grade10: resource %q: unknown kind %q", rj.Name, rj.Kind)
+		}
+		resources = append(resources, &core.Resource{
+			Name: rj.Name, Kind: kind, Capacity: rj.Capacity, PerMachine: rj.PerMachine,
+		})
+	}
+	res, err := core.NewResourceModel(resources...)
+	if err != nil {
+		return Models{}, err
+	}
+
+	rules := core.NewRuleSet()
+	for _, rj := range doc.Rules {
+		if exec.Lookup(rj.PhaseType) == nil {
+			return Models{}, fmt.Errorf("grade10: rule references unknown phase type %q", rj.PhaseType)
+		}
+		if res.Lookup(rj.Resource) == nil {
+			return Models{}, fmt.Errorf("grade10: rule references unknown resource %q", rj.Resource)
+		}
+		var rule core.Rule
+		switch rj.Kind {
+		case "none":
+			rule = core.None()
+		case "exact":
+			rule = core.Exact(rj.Amount)
+		case "variable":
+			rule = core.Variable(rj.Amount)
+		default:
+			return Models{}, fmt.Errorf("grade10: rule %s/%s: unknown kind %q",
+				rj.PhaseType, rj.Resource, rj.Kind)
+		}
+		rules.Set(rj.PhaseType, rj.Resource, rule)
+	}
+	return Models{Exec: exec, Res: res, Rules: rules}, nil
+}
+
+func decodePhaseType(j phaseTypeJSON, parent *core.PhaseType) (*core.PhaseType, error) {
+	var t *core.PhaseType
+	if parent == nil {
+		t = core.NewRootType(j.Name)
+	} else {
+		t = parent.Child(j.Name, j.Repeated, j.After...)
+	}
+	t.Repeated = j.Repeated
+	t.Sequential = j.Sequential
+	t.SyncGroup = j.SyncGroup
+	t.ElasticWaits = j.ElasticWaits
+	for _, c := range j.Children {
+		if _, err := decodePhaseType(c, t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

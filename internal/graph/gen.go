@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The generators below stand in for the Graphalytics datasets the paper uses
+// (DESIGN.md §2). Both are deterministic for a given seed.
+
+// RMAT generates a Graph500-style R-MAT graph with 2^scale vertices and
+// approximately edgeFactor·2^scale directed edges, using the standard
+// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) quadrant probabilities. Duplicate
+// edges are collapsed, so the exact edge count is slightly lower. The skewed
+// degree distribution drives the workload imbalance the paper studies.
+func RMAT(scale int, edgeFactor int, seed int64) *Graph {
+	return RMATParams(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// RMATParams is RMAT with explicit quadrant probabilities a, b, c
+// (d = 1-a-b-c).
+func RMATParams(scale, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	if scale < 1 || scale > 30 {
+		panic("graph: RMAT scale out of range")
+	}
+	n := 1 << scale
+	m := n * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				dst |= 1 << bit
+			case r < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		bld.AddEdge(Vertex(src), Vertex(dst))
+	}
+	return bld.Build(true)
+}
+
+// CommunityParams configures the Datagen-like community graph generator.
+type CommunityParams struct {
+	// Vertices is the total vertex count.
+	Vertices int
+	// Communities is the number of communities; community sizes follow a
+	// Zipf-like distribution so a few communities dominate, as in social
+	// networks.
+	Communities int
+	// IntraDegree is the average number of intra-community out-edges per
+	// vertex, attached preferentially so intra-community degrees are skewed.
+	IntraDegree int
+	// InterFraction is the fraction of additional edges that cross
+	// communities (uniform endpoints).
+	InterFraction float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// Community generates an LDBC-Datagen-like graph: Zipf community sizes,
+// preferential attachment inside communities, and a controlled fraction of
+// cross-community edges. CDLP on such graphs shows the strong per-community
+// work imbalance the paper's Figure 5 reports.
+func Community(p CommunityParams) *Graph {
+	if p.Vertices <= 0 || p.Communities <= 0 || p.Communities > p.Vertices {
+		panic("graph: invalid community parameters")
+	}
+	if p.IntraDegree < 1 {
+		p.IntraDegree = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Zipf-like community sizes: size_i ∝ 1/(i+1), scaled to sum to Vertices.
+	weights := make([]float64, p.Communities)
+	totalW := 0.0
+	for i := range weights {
+		weights[i] = 1.0 / float64(i+1)
+		totalW += weights[i]
+	}
+	sizes := make([]int, p.Communities)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(math.Floor(weights[i] / totalW * float64(p.Vertices)))
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Distribute the rounding remainder (or trim overshoot) on the largest
+	// community.
+	sizes[0] += p.Vertices - assigned
+	if sizes[0] < 1 {
+		panic("graph: community sizing failed")
+	}
+
+	// Vertices are numbered community by community; interleave communities
+	// via a deterministic shuffle at the end so partitioners do not get
+	// trivially aligned communities.
+	perm := rng.Perm(p.Vertices)
+	label := make([]Vertex, p.Vertices) // position → final vertex id
+	for i, v := range perm {
+		label[i] = Vertex(v)
+	}
+
+	bld := NewBuilder(p.Vertices)
+	base := 0
+	for c := 0; c < p.Communities; c++ {
+		size := sizes[c]
+		// Preferential attachment within the community: vertex k connects to
+		// IntraDegree earlier vertices, chosen proportionally to their
+		// current degree (approximated by sampling positions of prior edge
+		// endpoints, the standard Barabási–Albert trick).
+		var endpoints []int // local indices, one entry per prior edge endpoint
+		for k := 1; k < size; k++ {
+			deg := p.IntraDegree
+			if deg > k {
+				deg = k
+			}
+			for d := 0; d < deg; d++ {
+				var target int
+				if len(endpoints) > 0 && rng.Float64() < 0.75 {
+					target = endpoints[rng.Intn(len(endpoints))]
+				} else {
+					target = rng.Intn(k)
+				}
+				src := label[base+k]
+				dst := label[base+target]
+				bld.AddEdge(src, dst)
+				bld.AddEdge(dst, src) // communities are effectively undirected
+				endpoints = append(endpoints, target, k)
+			}
+		}
+		base += size
+	}
+
+	// Cross-community edges.
+	inter := int(p.InterFraction * float64(bld.NumEdges()))
+	for i := 0; i < inter; i++ {
+		src := Vertex(rng.Intn(p.Vertices))
+		dst := Vertex(rng.Intn(p.Vertices))
+		if src != dst {
+			bld.AddEdge(src, dst)
+		}
+	}
+	return bld.Build(true)
+}
+
+// Ring generates a directed cycle over n vertices: the pathological
+// high-diameter input used in tests.
+func Ring(n int) *Graph {
+	bld := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		bld.AddEdge(Vertex(v), Vertex((v+1)%n))
+	}
+	return bld.Build(false)
+}
+
+// ErdosRenyi generates a uniform random directed graph with n vertices and
+// approximately m edges.
+func ErdosRenyi(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src := Vertex(rng.Intn(n))
+		dst := Vertex(rng.Intn(n))
+		bld.AddEdge(src, dst)
+	}
+	return bld.Build(true)
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as "src dst" lines, the plain-text format
+// used by Graphalytics datasets. The first line is a "# vertices edges"
+// header so readers can pre-size.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.Edges(func(_ int64, e Edge) {
+		if writeErr != nil {
+			return
+		}
+		_, writeErr = fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a graph written by WriteEdgeList. Lines starting with
+// '#' other than the header are ignored; the header is optional, in which
+// case the vertex count is one more than the largest identifier seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := -1
+	maxID := Vertex(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if n < 0 {
+				fields := strings.Fields(strings.TrimPrefix(line, "#"))
+				if len(fields) >= 1 {
+					if v, err := strconv.Atoi(fields[0]); err == nil && v > 0 {
+						n = v
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'src dst', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source: %v", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination: %v", lineNo, err)
+		}
+		edges = append(edges, Edge{Vertex(src), Vertex(dst)})
+		if Vertex(src) > maxID {
+			maxID = Vertex(src)
+		}
+		if Vertex(dst) > maxID {
+			maxID = Vertex(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("graph: empty edge list without header")
+		}
+		n = int(maxID) + 1
+	}
+	if int(maxID) >= n {
+		return nil, fmt.Errorf("graph: vertex %d out of declared range %d", maxID, n)
+	}
+	return FromEdges(n, edges), nil
+}

@@ -1,0 +1,139 @@
+package issues
+
+import (
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+// CriticalStep is one leaf on the critical path with its replayed interval.
+type CriticalStep struct {
+	Phase *core.Phase
+	Start vtime.Time
+	End   vtime.Time
+}
+
+// CriticalPath extracts the chain of leaf phases that determines the
+// replayed makespan: starting from the phase whose end equals the root end,
+// it walks backward through whichever dependency (sibling precedence,
+// sequential predecessor, or sync-group straggler) pinned each start. The
+// paper's §VI groups critical-path analysis with Grade10 as complementary
+// techniques; here it falls out of the replay scheduler directly.
+//
+// The result is ordered from the start of the execution to its end. Gaps are
+// possible where a leaf's start was pinned by its parent's start rather than
+// another leaf.
+func CriticalPath(tr *core.ExecutionTrace) []CriticalStep {
+	r := &replay{
+		start: map[*core.Phase]vtime.Time{},
+		end:   map[*core.Phase]vtime.Time{},
+		sync:  map[string]vtime.Time{},
+	}
+	r.index(tr.Root)
+	makespan := r.endOf(tr.Root)
+
+	// Find the leaf whose replayed end matches the makespan; among ties take
+	// the lexicographically first for determinism.
+	var cur *core.Phase
+	for _, leaf := range tr.Leaves() {
+		if r.endOf(leaf) == makespan {
+			if cur == nil || leaf.Path < cur.Path {
+				cur = leaf
+			}
+		}
+	}
+	// A sync-group leaf's coupled end may exceed every leaf's raw end only
+	// when the group's straggler is itself a leaf, so cur is found whenever
+	// the trace has leaves at all.
+	if cur == nil {
+		return nil
+	}
+
+	var path []CriticalStep
+	seen := map[*core.Phase]bool{}
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		path = append(path, CriticalStep{Phase: cur, Start: r.startOf(cur), End: r.endOf(cur)})
+		cur = r.pinnedBy(cur)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// pinnedBy returns the leaf that determined p's (or its sync group's)
+// schedule, or nil when p starts with its ancestors at time zero.
+func (r *replay) pinnedBy(p *core.Phase) *core.Phase {
+	// If p belongs to a sync group and its raw end is below the group end,
+	// the straggling member is the real constraint.
+	if p.Type != nil && p.Type.SyncGroup {
+		key := syncKey(p)
+		groupEnd := r.syncEnd(key)
+		if r.rawEnd(p) < groupEnd {
+			for _, m := range r.groups[key] {
+				if m != p && r.rawEnd(m) == groupEnd {
+					return r.deepestLeafEndingAt(m, groupEnd)
+				}
+			}
+		}
+	}
+	// Otherwise walk up from p until an ancestor whose start was pinned by a
+	// predecessor, and descend into the predecessor's latest leaf.
+	for q := p; q != nil; q = q.Parent {
+		start := r.startOf(q)
+		if start == 0 {
+			return nil
+		}
+		if q.Parent != nil && r.startOf(q.Parent) == start {
+			continue // inherited from the parent: keep climbing
+		}
+		pred := r.predecessorEndingAt(q, start)
+		if pred != nil {
+			return r.deepestLeafEndingAt(pred, start)
+		}
+	}
+	return nil
+}
+
+// predecessorEndingAt finds the sibling (After edge or sequential
+// predecessor) whose replayed end equals q's start.
+func (r *replay) predecessorEndingAt(q *core.Phase, start vtime.Time) *core.Phase {
+	if q.Parent == nil || q.Type == nil {
+		return nil
+	}
+	after := map[string]bool{}
+	for _, a := range q.Type.After {
+		after[a] = true
+	}
+	for _, sib := range q.Parent.Children {
+		if sib == q || sib.Type == nil {
+			continue
+		}
+		isPred := after[sib.Type.Name] ||
+			(q.Type.Sequential && sib.Type == q.Type && sib.Index() >= 0 && sib.Index() < q.Index())
+		if isPred && r.endOf(sib) == start {
+			return sib
+		}
+	}
+	return nil
+}
+
+// deepestLeafEndingAt descends from p to a leaf whose replayed end matches t.
+func (r *replay) deepestLeafEndingAt(p *core.Phase, t vtime.Time) *core.Phase {
+	for len(p.Children) > 0 {
+		var next *core.Phase
+		for _, c := range p.Children {
+			if r.endOf(c) == t {
+				if next == nil || c.Path < next.Path {
+					next = c
+				}
+			}
+		}
+		if next == nil {
+			return p
+		}
+		p = next
+	}
+	return p
+}

@@ -1,0 +1,393 @@
+package issues
+
+import (
+	"fmt"
+	"sort"
+
+	"grade10/internal/attribution"
+	"grade10/internal/bottleneck"
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+// IssueKind classifies detected performance issues.
+type IssueKind int
+
+const (
+	// BottleneckImpact estimates the makespan gain from removing every
+	// bottleneck on one resource.
+	BottleneckImpact IssueKind = iota
+	// ImbalanceImpact estimates the gain from perfectly balancing concurrent
+	// phases of one type.
+	ImbalanceImpact
+)
+
+// String implements fmt.Stringer.
+func (k IssueKind) String() string {
+	switch k {
+	case BottleneckImpact:
+		return "bottleneck"
+	case ImbalanceImpact:
+		return "imbalance"
+	default:
+		return "unknown"
+	}
+}
+
+// Issue is one detected performance issue with its estimated impact.
+type Issue struct {
+	Kind IssueKind
+	// Resource is set for BottleneckImpact.
+	Resource string
+	// PhaseType is set for ImbalanceImpact.
+	PhaseType string
+	// Original is the replayed makespan of the recorded trace; Optimistic
+	// the makespan with the issue hypothetically fixed.
+	Original   vtime.Duration
+	Optimistic vtime.Duration
+	// Impact is 1 − Optimistic/Original: the paper's upper bound on the
+	// achievable makespan reduction.
+	Impact float64
+}
+
+// Describe renders a one-line summary.
+func (i Issue) Describe() string {
+	switch i.Kind {
+	case BottleneckImpact:
+		return fmt.Sprintf("removing %s bottlenecks could reduce makespan by up to %.1f%% (%v → %v)",
+			i.Resource, i.Impact*100, i.Original, i.Optimistic)
+	case ImbalanceImpact:
+		return fmt.Sprintf("balancing %s phases could reduce makespan by up to %.1f%% (%v → %v)",
+			i.PhaseType, i.Impact*100, i.Original, i.Optimistic)
+	default:
+		return "unknown issue"
+	}
+}
+
+// Outlier is a straggler within a set of same-worker sibling phases: the
+// §IV-D signature that exposed PowerGraph's synchronization bug.
+type Outlier struct {
+	// Phase is the straggling phase.
+	Phase *core.Phase
+	// Group is the parent path (e.g. one worker's gather step).
+	Group string
+	// Ratio is the phase duration over the mean of its siblings.
+	Ratio float64
+	// StepSlowdown is the concurrency group's max duration over the max
+	// duration excluding outliers: how much the whole step is delayed.
+	StepSlowdown float64
+}
+
+// Config tunes issue detection.
+type Config struct {
+	// MinImpact suppresses issues below this makespan fraction.
+	// Default 0.01.
+	MinImpact float64
+	// OutlierFactor: a phase is an outlier if it exceeds the mean of its
+	// same-parent siblings by this factor. Default 2.0.
+	OutlierFactor float64
+	// MinOutlierGroupDuration ignores groups whose longest member is shorter
+	// than this (the paper analyzes "non-trivial processing steps" >1s).
+	// Default 1s.
+	MinOutlierGroupDuration vtime.Duration
+	// BottleneckFloor is the minimum per-slice time fraction left after
+	// removing a bottleneck (the next-limiting-resource estimate cannot
+	// shrink a slice below this). Default 0.05.
+	BottleneckFloor float64
+	// UnderutilizationThreshold is the utilization fraction below which an
+	// active slice counts as underutilized. Default 0.5.
+	UnderutilizationThreshold float64
+}
+
+// DefaultConfig returns the default thresholds.
+func DefaultConfig() Config {
+	return Config{MinImpact: 0.01, OutlierFactor: 2.0,
+		MinOutlierGroupDuration: vtime.Second, BottleneckFloor: 0.05}
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.MinImpact == 0 {
+		c.MinImpact = d.MinImpact
+	}
+	if c.OutlierFactor == 0 {
+		c.OutlierFactor = d.OutlierFactor
+	}
+	if c.MinOutlierGroupDuration == 0 {
+		c.MinOutlierGroupDuration = d.MinOutlierGroupDuration
+	}
+	if c.BottleneckFloor == 0 {
+		c.BottleneckFloor = d.BottleneckFloor
+	}
+	if c.UnderutilizationThreshold == 0 {
+		c.UnderutilizationThreshold = 0.5
+	}
+}
+
+// Report is the issue-detection result.
+type Report struct {
+	// Issues sorted by descending impact.
+	Issues []Issue
+	// Outliers sorted by descending step slowdown.
+	Outliers []Outlier
+	// Underutilization summarizes slices where work ran without pressuring
+	// any resource.
+	Underutilization Underutilization
+	// Burstiness per resource instance, sorted by descending variability.
+	Burstiness []Burstiness
+	// Original is the replayed makespan of the unmodified trace.
+	Original vtime.Duration
+}
+
+// Analyze runs all §III-F detectors: per-resource bottleneck removal,
+// per-type imbalance, and straggler detection.
+func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Report {
+	cfg.fill()
+	tr := prof.Trace
+	rep := &Report{Original: Replay(tr, nil)}
+
+	for _, res := range bottleneckResources(prof, btl) {
+		durs := removeBottleneck(prof, btl, res, cfg)
+		opt := Replay(tr, durs)
+		issue := Issue{Kind: BottleneckImpact, Resource: res,
+			Original: rep.Original, Optimistic: opt,
+			Impact: impact(rep.Original, opt)}
+		if issue.Impact >= cfg.MinImpact {
+			rep.Issues = append(rep.Issues, issue)
+		}
+	}
+
+	groups := Groups(tr)
+	for _, tp := range groupTypePaths(groups) {
+		durs := balanceType(groups, tp)
+		opt := Replay(tr, durs)
+		issue := Issue{Kind: ImbalanceImpact, PhaseType: tp,
+			Original: rep.Original, Optimistic: opt,
+			Impact: impact(rep.Original, opt)}
+		if issue.Impact >= cfg.MinImpact {
+			rep.Issues = append(rep.Issues, issue)
+		}
+	}
+
+	rep.Outliers = DetectOutliers(tr, cfg)
+	rep.Underutilization = DetectUnderutilization(prof, cfg.UnderutilizationThreshold)
+	rep.Burstiness = DetectBurstiness(prof)
+
+	sort.Slice(rep.Issues, func(i, j int) bool { return rep.Issues[i].Impact > rep.Issues[j].Impact })
+	return rep
+}
+
+func impact(orig, opt vtime.Duration) float64 {
+	if orig <= 0 {
+		return 0
+	}
+	f := 1 - float64(opt)/float64(orig)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// bottleneckResources lists resource names with at least one bottleneck,
+// sorted.
+func bottleneckResources(prof *attribution.Profile, btl *bottleneck.Report) []string {
+	seen := map[string]bool{}
+	for _, b := range btl.Bottlenecks {
+		seen[b.Resource] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// removeBottleneck computes optimistic leaf durations with all bottlenecks
+// on resource res eliminated: blocking time on res vanishes, and slices
+// where the phase was bottlenecked on res shrink to what the next-limiting
+// resource allows (§III-F, "how much shorter a phase could become until
+// another resource becomes bottlenecked").
+func removeBottleneck(prof *attribution.Profile, btl *bottleneck.Report,
+	res string, cfg Config) Durations {
+	durs := Durations{}
+	slices := prof.Slices
+	for _, leaf := range prof.Trace.Leaves() {
+		newDur := Intrinsic(leaf)
+		// Blocking bottlenecks on res disappear entirely — including stalls
+		// inherited from ancestors (a GC pause logged on the worker phase
+		// stalls every thread under it). Waits already stripped as elastic
+		// must not be subtracted twice.
+		removable := leaf.BlockedWithin(res, leaf.Start, leaf.End)
+		if leaf.Type != nil && (leaf.Type.SyncGroup || leaf.Type.ElasticWaits) {
+			removable -= leaf.BlockedTime(res)
+		}
+		if removable > 0 {
+			newDur -= removable
+		}
+		// Consumable bottlenecks: shrink affected slices.
+		for _, b := range btl.ForPhase(leaf) {
+			if b.Resource != res || b.Kind == bottleneck.Blocking {
+				continue
+			}
+			for _, k := range b.Slices {
+				t0, t1 := slices.Bounds(k)
+				active := leaf.ActiveTime(t0, t1)
+				if active <= 0 {
+					continue
+				}
+				limit := nextLimit(prof, leaf, res, k)
+				if limit < cfg.BottleneckFloor {
+					limit = cfg.BottleneckFloor
+				}
+				saved := vtime.Duration(float64(active) * (1 - limit))
+				newDur -= saved
+			}
+		}
+		if newDur < 0 {
+			newDur = 0
+		}
+		if newDur != Intrinsic(leaf) {
+			durs[leaf] = newDur
+		}
+	}
+	return durs
+}
+
+// nextLimit estimates, for a phase bottlenecked on res during slice k, the
+// utilization fraction of the most-loaded *other* resource the phase uses in
+// that slice — the fraction of the slice the phase would still need if res
+// were infinitely fast.
+func nextLimit(prof *attribution.Profile, leaf *core.Phase, res string, k int) float64 {
+	maxUtil := 0.0
+	for _, ip := range prof.Instances {
+		if ip.Instance.Resource.Name == res {
+			continue
+		}
+		if ip.Instance.Resource.PerMachine && ip.Instance.Machine != leaf.Machine {
+			continue
+		}
+		rule := prof.Rules.Get(leaf.Type.Path(), ip.Instance.Resource.Name)
+		if rule.Kind == core.RuleNone {
+			continue
+		}
+		if u := ip.Consumption[k] / ip.Instance.Resource.Capacity; u > maxUtil {
+			maxUtil = u
+		}
+	}
+	if maxUtil > 1 {
+		maxUtil = 1
+	}
+	return maxUtil
+}
+
+func groupTypePaths(groups []Group) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range groups {
+		if len(g.Members) > 1 && !seen[g.TypePath] {
+			seen[g.TypePath] = true
+			out = append(out, g.TypePath)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// balanceType sets every member of each concurrency group of the given type
+// to the group's mean intrinsic duration, preserving total work (§III-F).
+func balanceType(groups []Group, typePath string) Durations {
+	durs := Durations{}
+	for _, g := range groups {
+		if g.TypePath != typePath || len(g.Members) < 2 {
+			continue
+		}
+		var total vtime.Duration
+		for _, m := range g.Members {
+			total += Intrinsic(m)
+		}
+		mean := total / vtime.Duration(len(g.Members))
+		for _, m := range g.Members {
+			durs[m] = mean
+		}
+	}
+	return durs
+}
+
+// DetectOutliers finds stragglers: members of a concurrency group whose
+// duration exceeds OutlierFactor × the mean of their same-parent siblings
+// (thread-level outliers within one worker, as in the paper's Figure 6).
+// StepSlowdown compares the group maximum against the maximum with outliers
+// excluded.
+func DetectOutliers(tr *core.ExecutionTrace, cfg Config) []Outlier {
+	cfg.fill()
+	var out []Outlier
+	for _, g := range Groups(tr) {
+		if len(g.Members) < 2 || g.MaxDuration() < cfg.MinOutlierGroupDuration {
+			continue
+		}
+		// Sub-group members by parent (per-worker threads).
+		byParent := map[*core.Phase][]*core.Phase{}
+		for _, m := range g.Members {
+			byParent[m.Parent] = append(byParent[m.Parent], m)
+		}
+		var outliers []*core.Phase
+		isOutlier := map[*core.Phase]bool{}
+		for _, sibs := range byParent {
+			if len(sibs) < 2 {
+				continue
+			}
+			var total vtime.Duration
+			for _, s := range sibs {
+				total += s.Duration()
+			}
+			for _, s := range sibs {
+				others := (total - s.Duration()) / vtime.Duration(len(sibs)-1)
+				if others > 0 && float64(s.Duration()) > cfg.OutlierFactor*float64(others) {
+					outliers = append(outliers, s)
+					isOutlier[s] = true
+				}
+			}
+		}
+		if len(outliers) == 0 {
+			continue
+		}
+		var maxAll, maxClean vtime.Duration
+		for _, m := range g.Members {
+			if d := m.Duration(); d > maxAll {
+				maxAll = d
+			}
+			if !isOutlier[m] {
+				if d := m.Duration(); d > maxClean {
+					maxClean = d
+				}
+			}
+		}
+		slowdown := 1.0
+		if maxClean > 0 {
+			slowdown = float64(maxAll) / float64(maxClean)
+		}
+		for _, o := range outliers {
+			var total vtime.Duration
+			sibs := byParent[o.Parent]
+			for _, s := range sibs {
+				total += s.Duration()
+			}
+			mean := (total - o.Duration()) / vtime.Duration(len(sibs)-1)
+			ratio := 0.0
+			if mean > 0 {
+				ratio = float64(o.Duration()) / float64(mean)
+			}
+			out = append(out, Outlier{
+				Phase: o, Group: o.Parent.Path, Ratio: ratio, StepSlowdown: slowdown,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StepSlowdown != out[j].StepSlowdown {
+			return out[i].StepSlowdown > out[j].StepSlowdown
+		}
+		return out[i].Phase.Path < out[j].Phase.Path
+	})
+	return out
+}

@@ -1,0 +1,371 @@
+package pgsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grade10/internal/cluster"
+	"grade10/internal/enginelog"
+	"grade10/internal/graph"
+	"grade10/internal/sim"
+	"grade10/internal/vertexprog"
+	"grade10/internal/vtime"
+)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Log is the execution log Grade10 ingests.
+	Log *enginelog.Log
+	// Cluster holds ground-truth utilization for monitoring.
+	Cluster *cluster.Cluster
+	// Start and End bound the run in virtual time.
+	Start, End vtime.Time
+	// RootPath is the top-level phase path ("/cdlp").
+	RootPath string
+	// Values are the final per-vertex algorithm values.
+	Values []float64
+	// Stats aggregates engine observations.
+	Stats Stats
+}
+
+// Run executes a vertex program under the GAS engine on a greedy vertex-cut.
+func Run(prog vertexprog.Program, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := prog.Graph()
+	e := &engine{cfg: cfg, prog: prog, g: g}
+	e.vc = graph.GreedyVertexCut(g, cfg.Workers)
+	e.sched = sim.NewScheduler()
+	e.cl = cluster.New(e.sched, cfg.Workers, cfg.Machine)
+	e.log = enginelog.NewLogger(e.sched.Now)
+	e.root = "/" + prog.Name()
+	e.active = make([]bool, g.NumVertices())
+	e.bugRNG = rand.New(rand.NewSource(cfg.BugSeed))
+	e.stats.ReplicationFactor = e.vc.ReplicationFactor()
+
+	e.sched.Spawn("master", e.master)
+	e.sched.Run()
+
+	return &Result{
+		Log:      e.log.Log(),
+		Cluster:  e.cl,
+		Start:    0,
+		End:      e.endTime,
+		RootPath: e.root,
+		Values:   prog.Values(),
+		Stats:    e.stats,
+	}, nil
+}
+
+type engine struct {
+	cfg   Config
+	prog  vertexprog.Program
+	g     *graph.Graph
+	vc    *graph.VertexCut
+	sched *sim.Scheduler
+	cl    *cluster.Cluster
+	log   *enginelog.Logger
+	root  string
+
+	active  []bool // active flags for the current iteration
+	bugRNG  *rand.Rand
+	stats   Stats
+	endTime vtime.Time
+}
+
+// master orchestrates: load, iteration loop, write.
+func (e *engine) master(p *sim.Proc) {
+	noise := cluster.StartNoise(e.cl, e.cfg.NoiseSeed, e.cfg.OSNoiseCores)
+	defer noise.Stop()
+	e.log.StartPhase(e.root, -1)
+
+	e.fanOutPhase(p, "load", func(w int) (float64, float64) {
+		edges := float64(len(e.vc.PartEdges(w)))
+		return edges * e.cfg.LoadCostPerEdge, edges * e.cfg.DiskBytesPerEdge
+	})
+
+	execPath := enginelog.Join(e.root, "execute")
+	e.log.StartPhase(execPath, -1)
+	for s := 0; ; s++ {
+		step := e.prog.Advance(s)
+		e.iteration(p, execPath, s, step)
+		e.stats.Iterations++
+		if step.Halt || s+1 >= e.prog.MaxSteps() {
+			break
+		}
+	}
+	e.log.EndPhase(execPath)
+
+	e.fanOutPhase(p, "write", func(w int) (float64, float64) {
+		masters := 0
+		for v := 0; v < e.g.NumVertices(); v++ {
+			if e.vc.Master(graph.Vertex(v)) == w {
+				masters++
+			}
+		}
+		return float64(masters) * e.cfg.WriteCostPerVertex,
+			float64(masters) * e.cfg.DiskBytesPerVertex
+	})
+
+	e.log.EndPhase(e.root)
+	e.endTime = e.sched.Now()
+}
+
+func (e *engine) fanOutPhase(p *sim.Proc, name string, workOf func(w int) (cpu, disk float64)) {
+	path := enginelog.Join(e.root, name)
+	e.log.StartPhase(path, -1)
+	latch := sim.NewBarrier(e.cfg.Workers + 1)
+	for w := 0; w < e.cfg.Workers; w++ {
+		w := w
+		e.sched.Spawn(fmt.Sprintf("%s-%d", name, w), func(wp *sim.Proc) {
+			wPath := enginelog.JoinIndexed(path, "worker", w)
+			e.log.StartPhase(wPath, w)
+			work, bytes := workOf(w)
+			e.cl.ReadDisk(wp, w, bytes)
+			e.cl.CPUs[w].Compute(wp, float64(e.cfg.ThreadsPerWorker), work)
+			e.log.EndPhase(wPath)
+			latch.Wait(wp)
+		})
+	}
+	latch.Wait(p)
+	e.log.EndPhase(path)
+}
+
+// iterPlan precomputes one iteration's per-worker work and traffic.
+type iterPlan struct {
+	// gatherEdges[w] lists participating CSR edge indices on worker w.
+	gatherEdges [][]int64
+	// applyMasters[w] lists active master vertices on worker w.
+	applyMasters [][]graph.Vertex
+	// exchange[w][d] is the mirror→master byte volume from w to d;
+	// sync[w][d] the master→mirror volume.
+	exchange, syncBytes [][]float64
+	// bugThread/bugFactor: per worker, the injected straggler (-1 = none).
+	bugThread []int
+	bugFactor []float64
+}
+
+func (e *engine) plan(step vertexprog.Step) *iterPlan {
+	W := e.cfg.Workers
+	pl := &iterPlan{
+		gatherEdges:  make([][]int64, W),
+		applyMasters: make([][]graph.Vertex, W),
+		exchange:     make2D(W),
+		syncBytes:    make2D(W),
+		bugThread:    make([]int, W),
+		bugFactor:    make([]float64, W),
+	}
+	for i := range e.active {
+		e.active[i] = false
+	}
+	for _, v := range step.Active {
+		e.active[v] = true
+	}
+
+	// Participating edges per worker: any edge incident to an active vertex.
+	for w := 0; w < W; w++ {
+		for _, idx := range e.vc.PartEdges(w) {
+			src, dst := e.g.EdgeSource(idx), e.g.EdgeDst(idx)
+			if e.active[src] || e.active[dst] {
+				pl.gatherEdges[w] = append(pl.gatherEdges[w], idx)
+			}
+		}
+	}
+
+	// Masters and replica traffic of active vertices.
+	for _, v := range step.Active {
+		m := e.vc.Master(v)
+		pl.applyMasters[m] = append(pl.applyMasters[m], v)
+		e.vc.ReplicaParts(v, func(part int) {
+			if part == m {
+				return
+			}
+			pl.exchange[part][m] += e.cfg.BytesPerPartial
+			pl.syncBytes[m][part] += e.cfg.BytesPerUpdate
+			e.stats.MessagesSent += 2
+		})
+	}
+
+	// Sync-bug injection: a seeded subset of (iteration, worker) gather
+	// steps get one straggling thread.
+	for w := 0; w < W; w++ {
+		pl.bugThread[w] = -1
+		if e.cfg.EnableSyncBug && len(pl.gatherEdges[w]) > 0 {
+			if e.bugRNG.Float64() < e.cfg.BugProbability {
+				pl.bugThread[w] = e.bugRNG.Intn(e.cfg.ThreadsPerWorker)
+				span := e.cfg.BugFactorMax - e.cfg.BugFactorMin
+				pl.bugFactor[w] = e.cfg.BugFactorMin + e.bugRNG.Float64()*span
+				e.stats.BugInjections++
+			}
+		}
+	}
+	return pl
+}
+
+func make2D(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+// iteration runs one GAS iteration across all workers.
+func (e *engine) iteration(p *sim.Proc, execPath string, s int, step vertexprog.Step) {
+	itPath := enginelog.JoinIndexed(execPath, "iteration", s)
+	e.log.StartPhase(itPath, -1)
+	e.log.AddCounter("active-vertices", float64(len(step.Active)))
+
+	pl := e.plan(step)
+	W := e.cfg.Workers
+	gatherXB := sim.NewBarrier(W)  // after gather exchange
+	syncXB := sim.NewBarrier(W)    // after sync exchange
+	iterEndB := sim.NewBarrier(W)  // end of iteration
+	latch := sim.NewBarrier(W + 1) // master join
+	for w := 0; w < W; w++ {
+		w := w
+		e.sched.Spawn(fmt.Sprintf("it%d-w%d", s, w), func(wp *sim.Proc) {
+			e.workerIteration(wp, itPath, s, w, step, pl, gatherXB, syncXB, iterEndB)
+			latch.Wait(wp)
+		})
+	}
+	latch.Wait(p)
+	e.log.EndPhase(itPath)
+}
+
+// workerIteration runs one worker's minor-steps.
+func (e *engine) workerIteration(wp *sim.Proc, itPath string, s, w int,
+	step vertexprog.Step, pl *iterPlan, gatherXB, syncXB, iterEndB *sim.Barrier) {
+	cfg := &e.cfg
+	wPath := enginelog.JoinIndexed(itPath, "worker", w)
+	e.log.StartPhase(wPath, w)
+
+	// Gather: threads over participating edges, contiguous blocks. The cost
+	// of gathering over an edge scales with the program's vertex weights
+	// (e.g. CDLP's label-histogram size), which is what makes gather so
+	// imbalanced on community graphs.
+	gatherEdges := pl.gatherEdges[w]
+	e.threadedEdgePhase(wp, wPath, "gather", s, w, gatherEdges,
+		func(idx int64) float64 {
+			src, dst := e.g.EdgeSource(idx), e.g.EdgeDst(idx)
+			return cfg.CostPerEdgeGather * 0.5 * (step.WeightOf(src) + step.WeightOf(dst))
+		}, pl.bugThread[w], pl.bugFactor[w])
+
+	// Gather exchange: mirrors ship partial accumulators to masters, then
+	// all workers synchronize (masters need every partial before apply).
+	e.exchangePhase(wp, wPath, "exchange", w, pl.exchange, gatherXB)
+
+	// Apply: threads over active masters, weighted per-vertex cost.
+	applyPath := enginelog.Join(wPath, "apply")
+	e.log.StartPhase(applyPath, -1)
+	masters := pl.applyMasters[w]
+	e.runThreads(wp, applyPath, s, w, len(masters), func(lo, hi int) float64 {
+		work := 0.0
+		for _, v := range masters[lo:hi] {
+			work += cfg.CostPerVertexApply * step.WeightOf(v)
+		}
+		return work
+	}, -1, 0)
+	e.log.EndPhase(applyPath)
+
+	// Sync exchange: masters broadcast updated values to mirrors.
+	e.exchangePhase(wp, wPath, "sync", w, pl.syncBytes, syncXB)
+
+	// Scatter: threads over participating edges again, cheaper per edge and
+	// weight-independent.
+	e.threadedEdgePhase(wp, wPath, "scatter", s, w, pl.gatherEdges[w],
+		func(int64) float64 { return cfg.CostPerEdgeScatter }, -1, 0)
+
+	// Iteration barrier.
+	bPath := enginelog.Join(wPath, "barrier")
+	e.log.StartPhase(bPath, -1)
+	before := wp.Now()
+	iterEndB.Wait(wp)
+	e.stats.BarrierWait += wp.Now().Sub(before)
+	e.log.BlockedSince(bPath, ResBarrier, before)
+	e.log.EndPhase(bPath)
+
+	e.log.EndPhase(wPath)
+}
+
+// threadedEdgePhase runs an edge-parallel minor-step (gather/scatter) with
+// ThreadsPerWorker threads over contiguous edge blocks; edgeCost gives the
+// per-edge cost. bugThread (if ≥ 0) has its work multiplied by bugFactor,
+// modeling the late-message-stream straggler of §IV-D.
+func (e *engine) threadedEdgePhase(wp *sim.Proc, wPath, name string, s, w int,
+	edges []int64, edgeCost func(idx int64) float64, bugThread int, bugFactor float64) {
+	path := enginelog.Join(wPath, name)
+	e.log.StartPhase(path, -1)
+	e.runThreads(wp, path, s, w, len(edges), func(lo, hi int) float64 {
+		work := 0.0
+		for _, idx := range edges[lo:hi] {
+			work += edgeCost(idx)
+		}
+		return work
+	}, bugThread, bugFactor)
+	e.log.EndPhase(path)
+}
+
+// runThreads splits n items into ThreadsPerWorker contiguous blocks and runs
+// one thread phase per block, computing in ChunkEdges quanta.
+func (e *engine) runThreads(wp *sim.Proc, parent string, s, w, n int,
+	workOf func(lo, hi int) float64, bugThread int, bugFactor float64) {
+	cfg := &e.cfg
+	cpu := e.cl.CPUs[w]
+	threads := cfg.ThreadsPerWorker
+	latch := sim.NewBarrier(threads + 1)
+	per := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		t := t
+		lo := t * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		e.sched.Spawn(fmt.Sprintf("%s-it%d-w%d-t%d", parent, s, w, t), func(tp *sim.Proc) {
+			tPath := enginelog.JoinIndexed(parent, "thread", t)
+			e.log.StartPhase(tPath, -1)
+			for start := lo; start < hi; start += cfg.ChunkEdges {
+				end := start + cfg.ChunkEdges
+				if end > hi {
+					end = hi
+				}
+				work := workOf(start, end)
+				if t == bugThread {
+					work *= bugFactor
+				}
+				cpu.Compute(tp, 1, work)
+			}
+			e.log.EndPhase(tPath)
+			latch.Wait(tp)
+		})
+	}
+	latch.Wait(wp)
+}
+
+// exchangePhase ships this worker's row of the byte matrix to its
+// destinations, then waits on the cluster-wide mini-barrier; the wait is
+// logged as blocking on the exchange phase.
+func (e *engine) exchangePhase(wp *sim.Proc, wPath, name string, w int,
+	bytes [][]float64, barrier *sim.Barrier) {
+	path := enginelog.Join(wPath, name)
+	e.log.StartPhase(path, -1)
+	for d := 0; d < e.cfg.Workers; d++ {
+		if b := bytes[w][d]; b > 0 && d != w {
+			if cost := b * e.cfg.SerializeCostPerByte; cost > 0 {
+				e.cl.CPUs[w].Compute(wp, 1, cost) // serialization work
+			}
+			e.cl.Net.Transfer(wp, w, d, b)
+			e.stats.BytesSent += b
+		}
+	}
+	before := wp.Now()
+	barrier.Wait(wp)
+	e.stats.BarrierWait += wp.Now().Sub(before)
+	e.log.BlockedSince(path, ResBarrier, before)
+	e.log.EndPhase(path)
+}

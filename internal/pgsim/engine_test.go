@@ -1,0 +1,244 @@
+package pgsim
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/algo"
+	"grade10/internal/enginelog"
+	"grade10/internal/graph"
+	"grade10/internal/vertexprog"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.ThreadsPerWorker = 4
+	return cfg
+}
+
+func communityGraph() *graph.Graph {
+	return graph.Community(graph.CommunityParams{
+		Vertices: 800, Communities: 12, IntraDegree: 4, InterFraction: 0.03, Seed: 3,
+	})
+}
+
+func TestCDLPResultsMatchReference(t *testing.T) {
+	g := communityGraph()
+	res, err := Run(vertexprog.NewCDLP(g, 4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.CDLP(g, 4)
+	for v := range want {
+		if res.Values[v] != float64(want[v]) {
+			t.Fatalf("label[%d] = %v, want %d", v, res.Values[v], want[v])
+		}
+	}
+	if res.Stats.Iterations != 4 {
+		t.Fatalf("iterations %d", res.Stats.Iterations)
+	}
+	if res.Stats.ReplicationFactor < 1 {
+		t.Fatalf("replication factor %v", res.Stats.ReplicationFactor)
+	}
+}
+
+func TestPageRankResultsMatchReference(t *testing.T) {
+	g := graph.RMAT(9, 8, 5)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 5), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.PageRank(g, 0.85, 5)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestLogStructure(t *testing.T) {
+	g := graph.RMAT(8, 6, 2)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 3), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	started := map[string]bool{}
+	ended := map[string]bool{}
+	for _, ev := range res.Log.Events {
+		switch ev.Kind {
+		case enginelog.PhaseStart:
+			if started[ev.Path] {
+				t.Fatalf("double start %q", ev.Path)
+			}
+			started[ev.Path] = true
+			kinds[enginelog.TypePath(ev.Path)]++
+		case enginelog.PhaseEnd:
+			ended[ev.Path] = true
+		}
+	}
+	for p := range started {
+		if !ended[p] {
+			t.Fatalf("unclosed phase %q", p)
+		}
+	}
+	expect := map[string]int{
+		"/pagerank":                                   1,
+		"/pagerank/execute/iteration":                 3,
+		"/pagerank/execute/iteration/worker":          6,
+		"/pagerank/execute/iteration/worker/gather":   6,
+		"/pagerank/execute/iteration/worker/exchange": 6,
+		"/pagerank/execute/iteration/worker/apply":    6,
+		"/pagerank/execute/iteration/worker/sync":     6,
+		"/pagerank/execute/iteration/worker/scatter":  6,
+		"/pagerank/execute/iteration/worker/barrier":  6,
+	}
+	for tp, want := range expect {
+		if kinds[tp] != want {
+			t.Errorf("%s: %d, want %d", tp, kinds[tp], want)
+		}
+	}
+	// 4 threads per gather/apply/scatter per worker per iteration.
+	if got := kinds["/pagerank/execute/iteration/worker/gather/thread"]; got != 24 {
+		t.Errorf("gather threads %d, want 24", got)
+	}
+}
+
+func TestNoGCOrQueueEvents(t *testing.T) {
+	// PowerGraph is C++: the log must never contain gc or msgqueue blocks.
+	g := graph.RMAT(9, 8, 5)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Log.Events {
+		if ev.Kind == enginelog.Blocked && (ev.Resource == "gc" || ev.Resource == "msgqueue") {
+			t.Fatalf("unexpected blocking resource %q", ev.Resource)
+		}
+	}
+}
+
+func TestSyncBugInjection(t *testing.T) {
+	g := communityGraph()
+	clean := smallConfig()
+	buggy := smallConfig()
+	buggy.EnableSyncBug = true
+	buggy.BugProbability = 0.5
+
+	cr, err := Run(vertexprog.NewCDLP(g, 5), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := Run(vertexprog.NewCDLP(g, 5), buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Stats.BugInjections != 0 {
+		t.Fatal("clean run reported injections")
+	}
+	if br.Stats.BugInjections == 0 {
+		t.Fatal("buggy run had no injections")
+	}
+	// Results are unaffected — the bug wastes time, not correctness.
+	for v := range cr.Values {
+		if cr.Values[v] != br.Values[v] {
+			t.Fatal("bug changed results")
+		}
+	}
+	// The buggy run must be slower.
+	if br.End <= cr.End {
+		t.Fatalf("buggy run %v not slower than clean %v", br.End, cr.End)
+	}
+}
+
+func TestSyncBugDeterministic(t *testing.T) {
+	g := graph.RMAT(8, 6, 11)
+	cfg := smallConfig()
+	cfg.EnableSyncBug = true
+	a, err := Run(vertexprog.NewPageRank(g, 0.85, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(vertexprog.NewPageRank(g, 0.85, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End != b.End || a.Stats.BugInjections != b.Stats.BugInjections {
+		t.Fatal("bug injection not deterministic")
+	}
+}
+
+func TestExchangeTrafficMatchesReplication(t *testing.T) {
+	g := graph.RMAT(9, 8, 5)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 3), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MessagesSent == 0 {
+		t.Fatal("no exchange messages despite replication")
+	}
+	// Network ground truth carries what the engine sent.
+	sent := 0.0
+	for m := 0; m < res.Cluster.NumMachines(); m++ {
+		truth, err := res.Cluster.GroundTruth(m, "net-out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += truth.Integral(res.Start, res.End)
+	}
+	if math.Abs(sent-res.Stats.BytesSent) > 1e-3*res.Stats.BytesSent {
+		t.Fatalf("network carried %v, engine sent %v", sent, res.Stats.BytesSent)
+	}
+}
+
+func TestBFSFrontierIterations(t *testing.T) {
+	g := graph.Ring(64)
+	res, err := Run(vertexprog.NewBFS(g, 0), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.BFS(g, 0)
+	for v := range want {
+		if res.Values[v] != float64(want[v]) {
+			t.Fatalf("dist[%d] = %v, want %d", v, res.Values[v], want[v])
+		}
+	}
+	// Ring: 64 frontier steps (the last one halts with empty frontier).
+	if res.Stats.Iterations < 63 {
+		t.Fatalf("iterations %d", res.Stats.Iterations)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Ring(8)
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Workers = 65 },
+		func(c *Config) { c.ThreadsPerWorker = 0 },
+		func(c *Config) { c.ChunkEdges = 0 },
+		func(c *Config) { c.EnableSyncBug = true; c.BugProbability = 2 },
+		func(c *Config) { c.EnableSyncBug = true; c.BugFactorMin = 0.5 },
+	} {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Run(vertexprog.NewBFS(g, 0), cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.RMAT(8, 6, 9)
+	run := func() *Result {
+		res, err := Run(vertexprog.NewWCC(g), smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.End != b.End || len(a.Log.Events) != len(b.Log.Events) {
+		t.Fatal("nondeterministic run")
+	}
+}

@@ -1,0 +1,126 @@
+package pgsim
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/algo"
+	"grade10/internal/graph"
+	"grade10/internal/vertexprog"
+)
+
+func TestSSSPOnEngine(t *testing.T) {
+	g := graph.RMAT(8, 6, 17)
+	res, err := Run(vertexprog.NewSSSP(g, 2), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.SSSP(g, 2)
+	for v := range want {
+		if want[v] == algo.Unreachable {
+			if !math.IsInf(res.Values[v], 1) {
+				t.Fatalf("dist[%d] = %v", v, res.Values[v])
+			}
+		} else if res.Values[v] != float64(want[v]) {
+			t.Fatalf("dist[%d] = %v, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestSingleWorkerNoExchange(t *testing.T) {
+	g := graph.RMAT(8, 6, 3)
+	cfg := smallConfig()
+	cfg.Workers = 1
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One part → no mirrors → no exchange traffic.
+	if res.Stats.BytesSent != 0 {
+		t.Fatalf("exchange bytes on single worker: %v", res.Stats.BytesSent)
+	}
+	if res.Stats.ReplicationFactor != 1 {
+		t.Fatalf("replication factor %v", res.Stats.ReplicationFactor)
+	}
+}
+
+func TestExchangeScalesWithReplication(t *testing.T) {
+	g := graph.RMAT(9, 8, 5)
+	few := smallConfig()
+	few.Workers = 2
+	many := smallConfig()
+	many.Workers = 8
+	a, err := Run(vertexprog.NewPageRank(g, 0.85, 3), few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(vertexprog.NewPageRank(g, 0.85, 3), many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.ReplicationFactor <= a.Stats.ReplicationFactor {
+		t.Fatalf("replication did not grow with parts: %v vs %v",
+			b.Stats.ReplicationFactor, a.Stats.ReplicationFactor)
+	}
+	if b.Stats.BytesSent <= a.Stats.BytesSent {
+		t.Fatalf("exchange bytes did not grow with replication: %v vs %v",
+			b.Stats.BytesSent, a.Stats.BytesSent)
+	}
+}
+
+func TestBugDoesNotFireWhenInactive(t *testing.T) {
+	// BFS on a ring: most iterations have a tiny frontier. The bug must only
+	// attach to workers with gather work.
+	g := graph.Ring(128)
+	cfg := smallConfig()
+	cfg.EnableSyncBug = true
+	cfg.BugProbability = 1.0 // always, when eligible
+	res, err := Run(vertexprog.NewBFS(g, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eligible (iteration, worker) pairs have nonzero gather edges; with
+	// probability 1 every one of them is hit — but never more than
+	// iterations × workers.
+	maxPossible := res.Stats.Iterations * cfg.Workers
+	if res.Stats.BugInjections == 0 || res.Stats.BugInjections > maxPossible {
+		t.Fatalf("injections %d of max %d", res.Stats.BugInjections, maxPossible)
+	}
+	// Results still correct.
+	want := algo.BFS(g, 0)
+	for v := range want {
+		if res.Values[v] != float64(want[v]) {
+			t.Fatal("bug corrupted results")
+		}
+	}
+}
+
+func TestCDLPGatherHeavierThanPageRank(t *testing.T) {
+	// CDLP's weighted gather (label histograms) must cost more virtual time
+	// per edge than PageRank's uniform gather on the same graph.
+	g := graph.Community(graph.CommunityParams{
+		Vertices: 800, Communities: 10, IntraDegree: 4, InterFraction: 0.03, Seed: 9,
+	})
+	pr, err := Run(vertexprog.NewPageRank(g, 0.85, 4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Run(vertexprog.NewCDLP(g, 4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.End <= pr.End {
+		t.Fatalf("CDLP (%v) not slower than PageRank (%v) despite weights", cd.End, pr.End)
+	}
+}
+
+func TestBarrierWaitAccounted(t *testing.T) {
+	g := graph.RMAT(9, 8, 5)
+	res, err := Run(vertexprog.NewPageRank(g, 0.85, 3), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BarrierWait <= 0 {
+		t.Fatal("no barrier wait recorded")
+	}
+}

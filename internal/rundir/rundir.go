@@ -1,0 +1,201 @@
+// Package rundir persists one simulated run to a directory — execution log,
+// monitoring samples, and run metadata — and loads it back. It is the
+// interchange between cmd/runsim (the SUT side of the paper's Figure 1) and
+// cmd/grade10 (the characterization side), making the file-based pipeline
+// explicit.
+package rundir
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"grade10/internal/cluster"
+	"grade10/internal/enginelog"
+	"grade10/internal/metrics"
+	"grade10/internal/vtime"
+)
+
+// Info is the run metadata cmd/grade10 needs to rebuild the models.
+type Info struct {
+	// Engine is "giraph" or "powergraph".
+	Engine string `json:"engine"`
+	// Job is the root phase name (program name).
+	Job string `json:"job"`
+	// Workers, ThreadsPerWorker, Cores and NetBandwidth describe the SUT.
+	Workers          int     `json:"workers"`
+	ThreadsPerWorker int     `json:"threads_per_worker"`
+	Cores            float64 `json:"cores"`
+	NetBandwidth     float64 `json:"net_bandwidth"`
+	DiskBandwidth    float64 `json:"disk_bandwidth,omitempty"`
+	// StartNS and EndNS bound the run in virtual nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+}
+
+// Run is a fully loaded run directory.
+type Run struct {
+	Info       Info
+	Log        *enginelog.Log
+	Monitoring []cluster.ResourceSamples
+}
+
+const (
+	infoFile       = "run.json"
+	logFile        = "execution.log"
+	monitoringFile = "monitoring.csv"
+)
+
+// Save writes the run into dir, creating it if needed.
+func Save(dir string, run *Run) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta, err := json.MarshalIndent(run.Info, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, infoFile), append(meta, '\n'), 0o644); err != nil {
+		return err
+	}
+	lf, err := os.Create(filepath.Join(dir, logFile))
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	if err := enginelog.Write(lf, run.Log); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, monitoringFile))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := WriteMonitoring(mf, run.Monitoring); err != nil {
+		return err
+	}
+	return mf.Close()
+}
+
+// Load reads a run directory written by Save.
+func Load(dir string) (*Run, error) {
+	meta, err := os.ReadFile(filepath.Join(dir, infoFile))
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{}
+	if err := json.Unmarshal(meta, &run.Info); err != nil {
+		return nil, fmt.Errorf("rundir: parsing %s: %w", infoFile, err)
+	}
+	lf, err := os.Open(filepath.Join(dir, logFile))
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	run.Log, err = enginelog.Read(lf)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(filepath.Join(dir, monitoringFile))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	run.Monitoring, err = ReadMonitoring(mf)
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// WriteMonitoring serializes monitoring samples as CSV:
+// machine,resource,capacity,start_ns,end_ns,avg.
+func WriteMonitoring(w io.Writer, monitoring []cluster.ResourceSamples) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "machine,resource,capacity,start_ns,end_ns,avg"); err != nil {
+		return err
+	}
+	for _, rs := range monitoring {
+		for _, s := range rs.Samples.Samples {
+			_, err := fmt.Fprintf(bw, "%d,%s,%g,%d,%d,%g\n",
+				rs.Machine, rs.Resource, rs.Capacity, int64(s.Start), int64(s.End), s.Avg)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMonitoring parses the CSV written by WriteMonitoring.
+func ReadMonitoring(r io.Reader) ([]cluster.ResourceSamples, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type key struct {
+		machine  int
+		resource string
+	}
+	order := []key{}
+	byKey := map[key]*cluster.ResourceSamples{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "machine,") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("rundir: monitoring line %d: expected 6 fields, got %d", lineNo, len(fields))
+		}
+		machine, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: machine: %v", lineNo, err)
+		}
+		capacity, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: capacity: %v", lineNo, err)
+		}
+		start, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: start: %v", lineNo, err)
+		}
+		end, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: end: %v", lineNo, err)
+		}
+		avg, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: avg: %v", lineNo, err)
+		}
+		k := key{machine, fields[1]}
+		rs, ok := byKey[k]
+		if !ok {
+			rs = &cluster.ResourceSamples{
+				Machine: machine, Resource: fields[1], Capacity: capacity,
+				Samples: &metrics.SampleSeries{},
+			}
+			byKey[k] = rs
+			order = append(order, k)
+		}
+		rs.Samples.Samples = append(rs.Samples.Samples, metrics.Sample{
+			Start: vtime.Time(start), End: vtime.Time(end), Avg: avg,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]cluster.ResourceSamples, 0, len(order))
+	for _, k := range order {
+		if err := byKey[k].Samples.Validate(); err != nil {
+			return nil, fmt.Errorf("rundir: monitoring %s@%d: %w", k.resource, k.machine, err)
+		}
+		out = append(out, *byKey[k])
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package rundir
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grade10/internal/cluster"
+	"grade10/internal/enginelog"
+	"grade10/internal/metrics"
+	"grade10/internal/vtime"
+)
+
+func sampleRun() *Run {
+	var now vtime.Time
+	l := enginelog.NewLogger(func() vtime.Time { return now })
+	l.StartPhase("/job", -1)
+	l.StartPhase("/job/a", 0)
+	now = vtime.Time(50 * vtime.Millisecond)
+	l.BlockedFor("/job/a", "gc", 10*vtime.Millisecond)
+	now = vtime.Time(100 * vtime.Millisecond)
+	l.EndPhase("/job/a")
+	l.EndPhase("/job")
+
+	mon := []cluster.ResourceSamples{
+		{
+			Machine: 0, Resource: "cpu", Capacity: 8,
+			Samples: &metrics.SampleSeries{Samples: []metrics.Sample{
+				{Start: 0, End: vtime.Time(50 * vtime.Millisecond), Avg: 3.5},
+				{Start: vtime.Time(50 * vtime.Millisecond), End: vtime.Time(100 * vtime.Millisecond), Avg: 1.25},
+			}},
+		},
+		{
+			Machine: 1, Resource: "net-out", Capacity: 1e8,
+			Samples: &metrics.SampleSeries{Samples: []metrics.Sample{
+				{Start: 0, End: vtime.Time(100 * vtime.Millisecond), Avg: 5e6},
+			}},
+		},
+	}
+	return &Run{
+		Info: Info{
+			Engine: "giraph", Job: "job", Workers: 2, ThreadsPerWorker: 4,
+			Cores: 8, NetBandwidth: 1e8, StartNS: 0, EndNS: int64(100 * vtime.Millisecond),
+		},
+		Log:        l.Log(),
+		Monitoring: mon,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run := sampleRun()
+	if err := Save(dir, run); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Info != run.Info {
+		t.Fatalf("info %+v vs %+v", back.Info, run.Info)
+	}
+	if len(back.Log.Events) != len(run.Log.Events) {
+		t.Fatalf("%d vs %d log events", len(back.Log.Events), len(run.Log.Events))
+	}
+	for i := range run.Log.Events {
+		if back.Log.Events[i] != run.Log.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if len(back.Monitoring) != 2 {
+		t.Fatalf("%d monitoring series", len(back.Monitoring))
+	}
+	cpu := back.Monitoring[0]
+	if cpu.Machine != 0 || cpu.Resource != "cpu" || cpu.Capacity != 8 {
+		t.Fatalf("cpu meta %+v", cpu)
+	}
+	if len(cpu.Samples.Samples) != 2 || cpu.Samples.Samples[1].Avg != 1.25 {
+		t.Fatalf("cpu samples %+v", cpu.Samples.Samples)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestMonitoringCSVErrors(t *testing.T) {
+	bad := []string{
+		"0,cpu,8,0,100\n",                      // 5 fields
+		"x,cpu,8,0,100,1\n",                    // bad machine
+		"0,cpu,cap,0,100,1\n",                  // bad capacity
+		"0,cpu,8,zero,100,1\n",                 // bad start
+		"0,cpu,8,0,end,1\n",                    // bad end
+		"0,cpu,8,0,100,avg\n",                  // bad avg
+		"0,cpu,8,0,100,1\n0,cpu,8,200,300,1\n", // gap between samples
+	}
+	for _, in := range bad {
+		if _, err := ReadMonitoring(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestMonitoringSkipsHeaderAndComments(t *testing.T) {
+	in := "machine,resource,capacity,start_ns,end_ns,avg\n# comment\n\n0,cpu,4,0,100,2\n"
+	out, err := ReadMonitoring(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Samples.Samples[0].Avg != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestWriteMonitoringFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMonitoring(&buf, sampleRun().Monitoring); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 samples
+		t.Fatalf("%d lines: %v", len(lines), lines)
+	}
+	if lines[1] != "0,cpu,8,0,50000000,3.5" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"grade10/internal/vtime"
+)
+
+func approxTime(t *testing.T, got vtime.Time, wantSec float64, tolSec float64) {
+	t.Helper()
+	if math.Abs(got.Seconds()-wantSec) > tolSec {
+		t.Fatalf("time %v, want ~%vs", got, wantSec)
+	}
+}
+
+func TestCPUSingleJob(t *testing.T) {
+	s := NewScheduler()
+	cpu := NewCPU(s, 4)
+	var end vtime.Time
+	s.Spawn("job", func(p *Proc) {
+		cpu.Compute(p, 1, 0.5) // 0.5 core-seconds at 1 core → 0.5s
+		end = p.Now()
+	})
+	s.Run()
+	approxTime(t, end, 0.5, 1e-6)
+}
+
+func TestCPUUnderloadFullDemand(t *testing.T) {
+	// 2 jobs of demand 1 on 4 cores: both run at full rate.
+	s := NewScheduler()
+	cpu := NewCPU(s, 4)
+	ends := make([]vtime.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn("job", func(p *Proc) {
+			cpu.Compute(p, 1, 1.0)
+			ends[i] = p.Now()
+		})
+	}
+	s.Run()
+	approxTime(t, ends[0], 1.0, 1e-6)
+	approxTime(t, ends[1], 1.0, 1e-6)
+	// Utilization during the run: 2/4 = 0.5.
+	if u := cpu.Util.Average(0, vtime.Time(vtime.Second)); math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+}
+
+func TestCPUOverloadProportionalShare(t *testing.T) {
+	// 8 jobs of demand 1 on 4 cores: each runs at 0.5 cores → 1 core-second
+	// takes 2s; utilization is 1.0 throughout.
+	s := NewScheduler()
+	cpu := NewCPU(s, 4)
+	var end vtime.Time
+	for i := 0; i < 8; i++ {
+		s.Spawn("job", func(p *Proc) {
+			cpu.Compute(p, 1, 1.0)
+			end = p.Now()
+		})
+	}
+	s.Run()
+	approxTime(t, end, 2.0, 1e-6)
+	if u := cpu.Util.Average(0, vtime.Time(2*vtime.Second)); math.Abs(u-1.0) > 1e-6 {
+		t.Fatalf("utilization %v, want 1.0", u)
+	}
+}
+
+func TestCPUHeterogeneousDemands(t *testing.T) {
+	// demand 3 + demand 1 on 2 cores: shares 1.5 and 0.5.
+	// Job A: 1.5 core-seconds at 1.5 → done at 1s. Then B alone at demand 1 →
+	// B did 0.5 in 1s, remaining 0.5 at rate 1 → done at 1.5s.
+	s := NewScheduler()
+	cpu := NewCPU(s, 2)
+	var endA, endB vtime.Time
+	s.Spawn("a", func(p *Proc) {
+		cpu.Compute(p, 3, 1.5)
+		endA = p.Now()
+	})
+	s.Spawn("b", func(p *Proc) {
+		cpu.Compute(p, 1, 1.0)
+		endB = p.Now()
+	})
+	s.Run()
+	approxTime(t, endA, 1.0, 1e-6)
+	approxTime(t, endB, 1.5, 1e-6)
+}
+
+func TestCPUWorkConservation(t *testing.T) {
+	// Total integral of utilization × cores must equal total work submitted,
+	// regardless of arrival pattern.
+	s := NewScheduler()
+	cpu := NewCPU(s, 3)
+	works := []float64{0.2, 0.7, 0.15, 1.1, 0.05}
+	delays := []vtime.Duration{0, 100 * ms, 250 * ms, 300 * ms, 900 * ms}
+	total := 0.0
+	for i := range works {
+		w := works[i]
+		total += w
+		s.SpawnAt(vtime.Time(delays[i]), "job", func(p *Proc) {
+			cpu.Compute(p, 1, w)
+		})
+	}
+	s.Run()
+	got := cpu.Util.Integral(0, s.Now().Add(vtime.Second)) * cpu.Cores
+	if math.Abs(got-total) > 1e-6 {
+		t.Fatalf("work integral %v, want %v", got, total)
+	}
+}
+
+func TestCPUPauseResume(t *testing.T) {
+	// Job needs 1 core-second; paused for 0.5s in the middle → ends at 1.5s.
+	s := NewScheduler()
+	cpu := NewCPU(s, 1)
+	var end vtime.Time
+	s.Spawn("job", func(p *Proc) {
+		cpu.Compute(p, 1, 1.0)
+		end = p.Now()
+	})
+	s.At(vtime.Time(500*ms), func() { cpu.Pause() })
+	s.At(vtime.Time(1000*ms), func() { cpu.Resume() })
+	s.Run()
+	approxTime(t, end, 1.5, 1e-6)
+	// During the pause, utilization is zero.
+	if u := cpu.Util.Average(vtime.Time(600*ms), vtime.Time(900*ms)); u != 0 {
+		t.Fatalf("paused utilization %v", u)
+	}
+}
+
+func TestCPUExemptJobRunsDuringPause(t *testing.T) {
+	// A GC-style job started during a pause completes on schedule and the
+	// machine shows full utilization (all cores doing GC work).
+	s := NewScheduler()
+	cpu := NewCPU(s, 4)
+	var gcEnd, jobEnd vtime.Time
+	s.Spawn("mutator", func(p *Proc) {
+		cpu.Compute(p, 1, 1.0)
+		jobEnd = p.Now()
+	})
+	s.At(vtime.Time(200*ms), func() {
+		cpu.Pause()
+		s.Spawn("gc", func(p *Proc) {
+			cpu.ComputeExempt(p, 4, 4*0.3) // 0.3s of all 4 cores
+			gcEnd = p.Now()
+			cpu.Resume()
+		})
+	})
+	s.Run()
+	approxTime(t, gcEnd, 0.5, 1e-6)
+	approxTime(t, jobEnd, 1.3, 1e-6) // 1s of work + 0.3s stopped
+	if u := cpu.Util.Average(vtime.Time(250*ms), vtime.Time(450*ms)); math.Abs(u-1.0) > 1e-6 {
+		t.Fatalf("GC-period utilization %v, want 1.0", u)
+	}
+}
+
+func TestCPUPauseNesting(t *testing.T) {
+	s := NewScheduler()
+	cpu := NewCPU(s, 1)
+	var end vtime.Time
+	s.Spawn("job", func(p *Proc) {
+		cpu.Compute(p, 1, 0.4)
+		end = p.Now()
+	})
+	s.At(vtime.Time(100*ms), func() { cpu.Pause(); cpu.Pause() })
+	s.At(vtime.Time(200*ms), func() { cpu.Resume() }) // still paused
+	s.At(vtime.Time(300*ms), func() { cpu.Resume() }) // now running
+	s.Run()
+	approxTime(t, end, 0.6, 1e-6)
+}
+
+func TestCPUZeroWorkImmediate(t *testing.T) {
+	s := NewScheduler()
+	cpu := NewCPU(s, 1)
+	ran := false
+	s.Spawn("job", func(p *Proc) {
+		cpu.Compute(p, 1, 0)
+		cpu.Compute(p, 0, 5)
+		ran = true
+		if p.Now() != 0 {
+			t.Errorf("zero work advanced time to %v", p.Now())
+		}
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("process did not finish")
+	}
+}
+
+func TestCPUSequentialChunks(t *testing.T) {
+	// Chunked compute sums to the same completion as a single block.
+	s := NewScheduler()
+	cpu := NewCPU(s, 2)
+	var end vtime.Time
+	s.Spawn("chunky", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			cpu.Compute(p, 1, 0.05)
+		}
+		end = p.Now()
+	})
+	s.Run()
+	approxTime(t, end, 0.5, 1e-5)
+}

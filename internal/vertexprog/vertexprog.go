@@ -1,0 +1,375 @@
+// Package vertexprog provides synchronous vertex-centric graph programs with
+// per-step activity introspection. Both simulated engines drive the same
+// program implementations: the BSP engine maps one step to a superstep, the
+// GAS engine to one gather/apply/scatter iteration. Because the value
+// propagation is computed globally and synchronously, engine results are
+// bit-identical to the sequential references in internal/algo — any timing
+// irregularity in the engines is data-driven, never a correctness fork.
+package vertexprog
+
+import (
+	"math"
+	"sort"
+
+	"grade10/internal/algo"
+	"grade10/internal/graph"
+)
+
+// Step reports what global step s did: which vertices computed, along which
+// edge directions their messages travel, and whether the algorithm halted.
+type Step struct {
+	// Active lists the vertices that executed compute in this step.
+	Active []graph.Vertex
+	// OutMessages: active vertices message their out-neighbors.
+	OutMessages bool
+	// InMessages: active vertices also message their in-neighbors
+	// (undirected propagation, as in WCC and CDLP).
+	InMessages bool
+	// Halt: no further steps needed after this one.
+	Halt bool
+	// Weight, when non-nil, gives the relative compute cost of a vertex in
+	// this step (e.g. CDLP's label-histogram size). Engines multiply their
+	// per-vertex cost by it; nil means uniform weight 1.
+	Weight func(v graph.Vertex) float64
+}
+
+// WeightOf returns the step's weight for v, defaulting to 1.
+func (s Step) WeightOf(v graph.Vertex) float64 {
+	if s.Weight == nil {
+		return 1
+	}
+	return s.Weight(v)
+}
+
+// Program is a synchronous vertex-centric graph algorithm.
+type Program interface {
+	// Name is a short identifier ("pagerank", "bfs", ...).
+	Name() string
+	// Graph returns the input graph.
+	Graph() *graph.Graph
+	// Advance executes global step s (0-based) and reports activity.
+	// Advance must not be called again after a step returned Halt.
+	Advance(s int) Step
+	// Values returns the current per-vertex values. Traversal distances use
+	// +Inf for unreachable vertices; label algorithms return labels as
+	// floats.
+	Values() []float64
+	// MaxSteps bounds execution for engines.
+	MaxSteps() int
+}
+
+func allVertices(n int) []graph.Vertex {
+	out := make([]graph.Vertex, n)
+	for i := range out {
+		out[i] = graph.Vertex(i)
+	}
+	return out
+}
+
+// PageRank is the synchronous power-iteration PageRank over a fixed number
+// of iterations, matching algo.PageRank.
+type PageRank struct {
+	g          *graph.Graph
+	damping    float64
+	iterations int
+	rank, next []float64
+}
+
+// NewPageRank creates a PageRank program.
+func NewPageRank(g *graph.Graph, damping float64, iterations int) *PageRank {
+	n := g.NumVertices()
+	p := &PageRank{g: g, damping: damping, iterations: iterations,
+		rank: make([]float64, n), next: make([]float64, n)}
+	for v := range p.rank {
+		p.rank[v] = 1.0 / float64(n)
+	}
+	return p
+}
+
+// Name implements Program.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Graph implements Program.
+func (p *PageRank) Graph() *graph.Graph { return p.g }
+
+// MaxSteps implements Program.
+func (p *PageRank) MaxSteps() int { return p.iterations }
+
+// Values implements Program.
+func (p *PageRank) Values() []float64 { return p.rank }
+
+// Advance implements Program: one power iteration; all vertices active.
+func (p *PageRank) Advance(s int) Step {
+	n := p.g.NumVertices()
+	dangling := 0.0
+	for v := 0; v < n; v++ {
+		if p.g.OutDegree(graph.Vertex(v)) == 0 {
+			dangling += p.rank[v]
+		}
+	}
+	base := (1-p.damping)/float64(n) + p.damping*dangling/float64(n)
+	for v := range p.next {
+		p.next[v] = base
+	}
+	for v := 0; v < n; v++ {
+		d := p.g.OutDegree(graph.Vertex(v))
+		if d == 0 {
+			continue
+		}
+		share := p.damping * p.rank[v] / float64(d)
+		for _, w := range p.g.OutNeighbors(graph.Vertex(v)) {
+			p.next[w] += share
+		}
+	}
+	p.rank, p.next = p.next, p.rank
+	return Step{Active: allVertices(n), OutMessages: true, Halt: s+1 >= p.iterations}
+}
+
+// BFS is a frontier-based breadth-first traversal matching algo.BFS.
+type BFS struct {
+	g        *graph.Graph
+	root     graph.Vertex
+	dist     []float64
+	frontier []graph.Vertex
+}
+
+// NewBFS creates a BFS program from root.
+func NewBFS(g *graph.Graph, root graph.Vertex) *BFS {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	return &BFS{g: g, root: root, dist: dist, frontier: []graph.Vertex{root}}
+}
+
+// Name implements Program.
+func (b *BFS) Name() string { return "bfs" }
+
+// Graph implements Program.
+func (b *BFS) Graph() *graph.Graph { return b.g }
+
+// MaxSteps implements Program.
+func (b *BFS) MaxSteps() int { return b.g.NumVertices() + 1 }
+
+// Values implements Program.
+func (b *BFS) Values() []float64 { return b.dist }
+
+// Advance implements Program: the current frontier relaxes its out-edges.
+func (b *BFS) Advance(s int) Step {
+	step := Step{Active: b.frontier, OutMessages: true}
+	var next []graph.Vertex
+	depth := float64(s + 1)
+	for _, v := range b.frontier {
+		for _, w := range b.g.OutNeighbors(v) {
+			if math.IsInf(b.dist[w], 1) {
+				b.dist[w] = depth
+				next = append(next, w)
+			}
+		}
+	}
+	b.frontier = next
+	step.Halt = len(next) == 0
+	return step
+}
+
+// SSSP is label-correcting single-source shortest paths with the synthetic
+// weights of algo.EdgeWeight, matching algo.SSSP.
+type SSSP struct {
+	g      *graph.Graph
+	dist   []float64
+	active []graph.Vertex
+}
+
+// NewSSSP creates an SSSP program from root.
+func NewSSSP(g *graph.Graph, root graph.Vertex) *SSSP {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	return &SSSP{g: g, dist: dist, active: []graph.Vertex{root}}
+}
+
+// Name implements Program.
+func (p *SSSP) Name() string { return "sssp" }
+
+// Graph implements Program.
+func (p *SSSP) Graph() *graph.Graph { return p.g }
+
+// MaxSteps implements Program.
+func (p *SSSP) MaxSteps() int { return 8*p.g.NumVertices() + 1 }
+
+// Values implements Program.
+func (p *SSSP) Values() []float64 { return p.dist }
+
+// Advance implements Program: active vertices relax their out-edges.
+func (p *SSSP) Advance(s int) Step {
+	step := Step{Active: p.active, OutMessages: true}
+	var next []graph.Vertex
+	inNext := make(map[graph.Vertex]bool)
+	for _, v := range p.active {
+		dv := p.dist[v]
+		for _, w := range p.g.OutNeighbors(v) {
+			if nd := dv + float64(algo.EdgeWeight(v, w)); nd < p.dist[w] {
+				p.dist[w] = nd
+				if !inNext[w] {
+					inNext[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+	}
+	p.active = next
+	step.Halt = len(next) == 0
+	return step
+}
+
+// WCC propagates minimum labels along undirected edges to a fixed point,
+// matching algo.WCC.
+type WCC struct {
+	g      *graph.Graph
+	label  []graph.Vertex
+	active []graph.Vertex
+}
+
+// NewWCC creates a WCC program.
+func NewWCC(g *graph.Graph) *WCC {
+	n := g.NumVertices()
+	label := make([]graph.Vertex, n)
+	for v := range label {
+		label[v] = graph.Vertex(v)
+	}
+	return &WCC{g: g, label: label, active: allVertices(n)}
+}
+
+// Name implements Program.
+func (p *WCC) Name() string { return "wcc" }
+
+// Graph implements Program.
+func (p *WCC) Graph() *graph.Graph { return p.g }
+
+// MaxSteps implements Program.
+func (p *WCC) MaxSteps() int { return p.g.NumVertices() + 1 }
+
+// Values implements Program.
+func (p *WCC) Values() []float64 {
+	out := make([]float64, len(p.label))
+	for v, l := range p.label {
+		out[v] = float64(l)
+	}
+	return out
+}
+
+// Advance implements Program: active vertices push their label both ways;
+// vertices whose label improved become active next step.
+func (p *WCC) Advance(s int) Step {
+	step := Step{Active: p.active, OutMessages: true, InMessages: true}
+	improved := map[graph.Vertex]bool{}
+	// Synchronous semantics: compute improvements from current labels.
+	next := make(map[graph.Vertex]graph.Vertex)
+	relax := func(from, to graph.Vertex) {
+		l := p.label[from]
+		cur, ok := next[to]
+		if !ok {
+			cur = p.label[to]
+		}
+		if l < cur {
+			next[to] = l
+			improved[to] = true
+		}
+	}
+	for _, v := range p.active {
+		for _, w := range p.g.OutNeighbors(v) {
+			relax(v, w)
+		}
+		for _, w := range p.g.InNeighbors(v) {
+			relax(v, w)
+		}
+	}
+	var act []graph.Vertex
+	for v := range improved {
+		act = append(act, v)
+	}
+	sortVertices(act)
+	for v, l := range next {
+		p.label[v] = l
+	}
+	p.active = act
+	step.Halt = len(act) == 0
+	return step
+}
+
+// CDLP is synchronous community detection by label propagation over a fixed
+// number of iterations, matching algo.CDLP.
+type CDLP struct {
+	g           *graph.Graph
+	iterations  int
+	label, next []graph.Vertex
+	counts      map[graph.Vertex]int
+}
+
+// NewCDLP creates a CDLP program.
+func NewCDLP(g *graph.Graph, iterations int) *CDLP {
+	n := g.NumVertices()
+	label := make([]graph.Vertex, n)
+	for v := range label {
+		label[v] = graph.Vertex(v)
+	}
+	return &CDLP{g: g, iterations: iterations, label: label,
+		next: make([]graph.Vertex, n), counts: map[graph.Vertex]int{}}
+}
+
+// Name implements Program.
+func (p *CDLP) Name() string { return "cdlp" }
+
+// Graph implements Program.
+func (p *CDLP) Graph() *graph.Graph { return p.g }
+
+// MaxSteps implements Program.
+func (p *CDLP) MaxSteps() int { return p.iterations }
+
+// Values implements Program.
+func (p *CDLP) Values() []float64 {
+	out := make([]float64, len(p.label))
+	for v, l := range p.label {
+		out[v] = float64(l)
+	}
+	return out
+}
+
+// Advance implements Program: every vertex adopts the most frequent neighbor
+// label (ties toward the smaller label); all vertices stay active for the
+// configured number of iterations. The per-vertex step weight is the size of
+// the label histogram the vertex had to build — the data-driven cost skew
+// that makes CDLP's gather phases so imbalanced on community graphs.
+func (p *CDLP) Advance(s int) Step {
+	n := p.g.NumVertices()
+	diversity := make([]float64, n)
+	for v := 0; v < n; v++ {
+		clear(p.counts)
+		for _, w := range p.g.OutNeighbors(graph.Vertex(v)) {
+			p.counts[p.label[w]]++
+		}
+		for _, w := range p.g.InNeighbors(graph.Vertex(v)) {
+			p.counts[p.label[w]]++
+		}
+		best := p.label[v]
+		bestCount := 0
+		for l, c := range p.counts {
+			if c > bestCount || (c == bestCount && l < best) {
+				best, bestCount = l, c
+			}
+		}
+		p.next[v] = best
+		diversity[v] = float64(1 + len(p.counts))
+	}
+	p.label, p.next = p.next, p.label
+	return Step{Active: allVertices(n), OutMessages: true, InMessages: true,
+		Halt:   s+1 >= p.iterations,
+		Weight: func(v graph.Vertex) float64 { return diversity[v] }}
+}
+
+func sortVertices(vs []graph.Vertex) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}

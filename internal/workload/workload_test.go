@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"grade10/internal/giraphsim"
+	"grade10/internal/pgsim"
+	"grade10/internal/vtime"
+)
+
+func TestAllEnumeratesEightWorkloads(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("%d workloads", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate workload %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	if !seen["pagerank-rmat"] || !seen["cdlp-datagen"] {
+		t.Fatalf("workload names: %v", seen)
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	d := Datasets()[0]
+	a := d.Graph()
+	b := d.Graph()
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+	if a.NumVertices() == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestNewProgramUnknown(t *testing.T) {
+	if _, err := NewProgram("nope", Datasets()[0].Graph()); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunGiraphAndCharacterize(t *testing.T) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 2
+	cfg.ThreadsPerWorker = 4
+	run, err := RunGiraph(Spec{Dataset: Datasets()[0], Algorithm: "bfs"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Characterize(50*vtime.Millisecond, 10*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issues.Original <= 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestRunPowerGraphAndCharacterize(t *testing.T) {
+	cfg := pgsim.DefaultConfig()
+	cfg.Workers = 2
+	cfg.ThreadsPerWorker = 4
+	run, err := RunPowerGraph(Spec{Dataset: Datasets()[1], Algorithm: "wcc"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Characterize(50*vtime.Millisecond, 10*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issues.Original <= 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestEnginesAgreeOnResults(t *testing.T) {
+	// The same program must produce identical values on both engines — the
+	// engines differ in execution structure and timing, never in semantics.
+	gcfg := giraphsim.DefaultConfig()
+	gcfg.Workers = 2
+	gcfg.ThreadsPerWorker = 4
+	pcfg := pgsim.DefaultConfig()
+	pcfg.Workers = 2
+	pcfg.ThreadsPerWorker = 4
+	for _, alg := range []string{"bfs", "pagerank", "wcc", "cdlp"} {
+		spec := Spec{Dataset: Datasets()[0], Algorithm: alg}
+		gr, err := RunGiraph(spec, gcfg)
+		if err != nil {
+			t.Fatalf("%s giraph: %v", alg, err)
+		}
+		pr, err := RunPowerGraph(spec, pcfg)
+		if err != nil {
+			t.Fatalf("%s powergraph: %v", alg, err)
+		}
+		gv, pv := gr.Result.Values, pr.Result.Values
+		if len(gv) != len(pv) {
+			t.Fatalf("%s: value lengths differ", alg)
+		}
+		for v := range gv {
+			if gv[v] != pv[v] {
+				t.Fatalf("%s: value[%d] differs: %v vs %v", alg, v, gv[v], pv[v])
+			}
+		}
+	}
+}
