@@ -9,7 +9,9 @@
 package grade10_test
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"grade10/internal/attribution"
@@ -17,12 +19,15 @@ import (
 	"grade10/internal/cluster"
 	"grade10/internal/core"
 	"grade10/internal/dataflowsim"
+	"grade10/internal/enginelog"
 	"grade10/internal/experiments"
 	"grade10/internal/giraphsim"
 	"grade10/internal/graph"
 	"grade10/internal/issues"
 	"grade10/internal/metrics"
 	"grade10/internal/pgsim"
+	"grade10/internal/rundir"
+	"grade10/internal/stream"
 	"grade10/internal/vertexprog"
 	"grade10/internal/vtime"
 	"grade10/internal/workload"
@@ -348,6 +353,92 @@ func BenchmarkAblationUpsamplingRatio(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Streaming (live characterization) benchmarks ---
+
+// BenchmarkWindowedAttribution measures the incremental path the streaming
+// engine takes — attribution.AttributeWindow over fixed windows of
+// timeslices — on the exact workload BenchmarkAttribution analyzes in one
+// shot, making the two directly comparable: windowing bounds the per-flush
+// cost (what lets the live service keep up with a running job) while total
+// work stays within a small factor of the batch pass.
+func BenchmarkWindowedAttribution(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	leaves := tr.Leaves()
+	const windowSlices = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < slices.Count; s += windowSlices {
+			w0 := slices.Start.Add(vtime.Duration(s) * slices.Width)
+			w1 := vtime.Min(w0.Add(vtime.Duration(windowSlices)*slices.Width), slices.End)
+			win := core.NewTimeslices(w0, w1, slices.Width)
+			var overlap []*core.Phase
+			for _, p := range leaves {
+				if p.Start < w1 && p.End > w0 {
+					overlap = append(overlap, p)
+				}
+			}
+			wtr := &core.ExecutionTrace{Root: tr.Root, Start: w0, End: w1}
+			if _, err := attribution.AttributeWindow(wtr, overlap, rt, rules, win); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStreamIngest measures the full streaming engine end to end in
+// bounded-memory mode: parsing serialized log and monitoring text, building
+// the live phase tree, and flushing incremental windows — the cost a live
+// deployment pays per byte of run output.
+func BenchmarkStreamIngest(b *testing.B) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "bench-stream", Gen: func() *graph.Graph { return graph.RMAT(11, 8, 42) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := cluster.Monitor(run.Result.Cluster, run.Result.Start, run.Result.End,
+		10*vtime.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var logBuf, monBuf bytes.Buffer
+	if err := enginelog.Write(&logBuf, run.Result.Log); err != nil {
+		b.Fatal(err)
+	}
+	if err := rundir.WriteMonitoring(&monBuf, mon); err != nil {
+		b.Fatal(err)
+	}
+	logLines := strings.Split(strings.TrimRight(logBuf.String(), "\n"), "\n")
+	monLines := strings.Split(strings.TrimRight(monBuf.String(), "\n"), "\n")
+	b.SetBytes(int64(logBuf.Len() + monBuf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.New(stream.Config{
+			Models: run.Models, ExpectedInstances: len(mon),
+			Timeslice: vtime.Millisecond, WindowSlices: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, line := range logLines {
+			eng.IngestLine(line)
+		}
+		eng.LogDone()
+		for _, line := range monLines {
+			eng.IngestMonitoringLine(line)
+		}
+		eng.MonitoringDone()
+		if _, err := eng.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(eng.Stats().WindowsFlushed), "windows")
+		}
 	}
 }
 

@@ -7,19 +7,29 @@
 //
 //	runsim -engine giraph -algorithm pagerank -graph rmat.el -out run/
 //	runsim -engine powergraph -algorithm cdlp -dataset datagen -bug -out run/
+//	runsim -engine giraph -algorithm pagerank -out run/ -serve :7070 -linger 30s
+//
+// With -serve, a live characterization server (the same endpoints as
+// cmd/serve) runs during the simulation, fed in-process through a tap on the
+// engine's logger; -linger keeps it up after the run for inspection.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"grade10/internal/cluster"
 	"grade10/internal/experiments"
 	"grade10/internal/giraphsim"
+	"grade10/internal/grade10"
 	"grade10/internal/graph"
 	"grade10/internal/pgsim"
 	"grade10/internal/rundir"
+	"grade10/internal/stream"
 	"grade10/internal/vtime"
 	"grade10/internal/workload"
 )
@@ -36,6 +46,8 @@ func main() {
 		bug       = flag.Bool("bug", false, "powergraph: inject the §IV-D synchronization bug")
 		interval  = flag.Duration("interval", 0, "monitoring interval (virtual; default 50ms)")
 		out       = flag.String("out", "", "output run directory (required)")
+		serveAddr = flag.String("serve", "", "serve live characterization on this address while the simulation runs")
+		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -57,11 +69,20 @@ func main() {
 	}
 
 	run := &rundir.Run{}
+	var live *liveServe
 	switch *engine {
 	case "giraph":
 		cfg := experiments.GiraphConfig(*scale)
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
+		if *serveAddr != "" {
+			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine)
+			if err != nil {
+				fail(err)
+			}
+			live = l
+			cfg.Tee = live.tap.Func()
+		}
 		part := graph.HashPartition(g, cfg.Workers)
 		res, err := giraphsim.Run(prog, part, cfg)
 		if err != nil {
@@ -86,6 +107,14 @@ func main() {
 		cfg := experiments.PowerGraphConfig(*scale, *bug)
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
+		if *serveAddr != "" {
+			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine)
+			if err != nil {
+				fail(err)
+			}
+			live = l
+			cfg.Tee = live.tap.Func()
+		}
 		res, err := pgsim.Run(prog, cfg)
 		if err != nil {
 			fail(err)
@@ -114,6 +143,82 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "runsim: saved %d log events to %s\n", len(run.Log.Events), *out)
+	if live != nil {
+		live.finish(run.Monitoring, *linger)
+	}
+}
+
+// liveServe bundles the in-process live characterization pipeline: a
+// streaming engine fed through a tap on the simulator's logger, served over
+// HTTP while the simulation runs.
+type liveServe struct {
+	engine *stream.Engine
+	tap    *stream.Tap
+	srv    *http.Server
+}
+
+// startLive builds the streaming engine from the same models the batch
+// analyzer would resolve for this run, installs the HTTP server, and returns
+// the bundle whose tap hook goes into the simulator's Config.Tee.
+func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec) (*liveServe, error) {
+	models, err := grade10.ModelsForEngine(engineName, grade10.ModelParams{
+		Job:              job,
+		Cores:            m.Cores,
+		NetBandwidth:     m.NetBandwidth,
+		DiskBandwidth:    m.DiskBandwidth,
+		ThreadsPerWorker: threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resources := 3 // cpu, net-in, net-out
+	if m.DiskBandwidth > 0 {
+		resources++
+	}
+	se, err := stream.New(stream.Config{
+		Models:            models,
+		ExpectedInstances: workers * resources,
+		RetainForFinal:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ls := &liveServe{
+		engine: se,
+		tap:    stream.NewTap(se, 0, stream.BlockWhenFull),
+		srv:    &http.Server{Addr: addr, Handler: stream.NewServer(se)},
+	}
+	go func() {
+		if err := ls.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "runsim: live server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "runsim: live characterization on %s\n", addr)
+	return ls, nil
+}
+
+// finish drains the tap, feeds the run's monitoring samples, finalizes the
+// exact profile, and keeps serving for the linger duration before shutdown.
+func (ls *liveServe) finish(monitoring []cluster.ResourceSamples, linger time.Duration) {
+	ls.tap.Close()
+	ls.engine.LogDone()
+	for _, rs := range monitoring {
+		for _, s := range rs.Samples.Samples {
+			ls.engine.IngestSample(rs.Machine, rs.Resource, rs.Capacity, s)
+		}
+	}
+	ls.engine.MonitoringDone()
+	if _, err := ls.engine.Finalize(); err != nil {
+		fmt.Fprintf(os.Stderr, "runsim: live finalize: %v\n", err)
+	} else if linger > 0 {
+		fmt.Fprintf(os.Stderr, "runsim: exact report at /report for %v\n", linger)
+	}
+	if linger > 0 {
+		time.Sleep(linger)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = ls.srv.Shutdown(ctx)
 }
 
 func loadGraph(file, dataset string) (*graph.Graph, error) {

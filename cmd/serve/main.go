@@ -1,0 +1,186 @@
+// Command serve is the live characterization service: it tails a run
+// directory while cmd/runsim (or any engine) is still writing it, feeds the
+// execution log and monitoring through the streaming engine, and serves the
+// evolving performance profile over HTTP — JSON endpoints for dashboards,
+// Prometheus text metrics for scraping, and, once the run completes, the
+// exact final report (byte-identical to cmd/grade10 on the same directory).
+//
+// Usage:
+//
+//	serve -run run/ -addr :7070
+//	curl localhost:7070/profile      # live profile (JSON)
+//	curl localhost:7070/metrics      # Prometheus text format
+//	curl localhost:7070/report       # final report (503 until the run ends)
+//
+// The service is robust to producers in progress: files that do not exist
+// yet, partially written lines, and garbled log content are handled by
+// waiting, buffering, and counting respectively.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"grade10/internal/grade10"
+	"grade10/internal/rundir"
+	"grade10/internal/stream"
+	"grade10/internal/vtime"
+)
+
+func main() {
+	var (
+		runDir    = flag.String("run", "", "run directory to tail (required)")
+		addr      = flag.String("addr", ":7070", "HTTP listen address")
+		poll      = flag.Duration("poll", 100*time.Millisecond, "file polling interval")
+		idle      = flag.Duration("idle", time.Second, "idle time after which the run counts as complete")
+		timeslice = flag.Duration("timeslice", 0, "analysis timeslice (virtual; default 10ms)")
+		window    = flag.Int("window", 64, "timeslices per live analysis window")
+		maxWin    = flag.Int("max-windows", 32, "recent windows retained for /windows")
+		bounded   = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
+	)
+	flag.Parse()
+	if *runDir == "" {
+		fmt.Fprintln(os.Stderr, "serve: -run is required")
+		os.Exit(2)
+	}
+
+	// The handler swaps from "warming up" to the live server once run.json
+	// reveals which engine's models to build. atomic.Pointer keeps the swap
+	// type-safe across the two concrete handler types.
+	var handler atomic.Pointer[http.Handler]
+	warming := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "waiting for run metadata (run.json)", http.StatusServiceUnavailable)
+	}))
+	handler.Store(&warming)
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		})}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s, tailing %s\n", *addr, *runDir)
+
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		close(stop)
+	}()
+
+	// Until the engine exists, log lines and monitoring rows buffer; run.json
+	// may legitimately appear after data starts landing.
+	var (
+		engine       *stream.Engine
+		pendingLines []string
+		pendingRows  []rundir.MonitoringRow
+	)
+	sink := rundir.FollowSink{
+		Info: func(info rundir.Info) {
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded)
+			if err != nil {
+				fail(err)
+			}
+			engine = e
+			for _, line := range pendingLines {
+				engine.IngestLine(line)
+			}
+			for _, row := range pendingRows {
+				engine.IngestRow(row)
+			}
+			pendingLines, pendingRows = nil, nil
+			live := http.Handler(stream.NewServer(engine))
+			handler.Store(&live)
+			fmt.Fprintf(os.Stderr, "serve: %s run of %q on %d workers; live endpoints up\n",
+				info.Engine, info.Job, info.Workers)
+		},
+		LogLine: func(line string) {
+			if engine != nil {
+				engine.IngestLine(line)
+			} else {
+				pendingLines = append(pendingLines, line)
+			}
+		},
+		MonitoringRow: func(row rundir.MonitoringRow) {
+			if engine != nil {
+				engine.IngestRow(row)
+			} else {
+				pendingRows = append(pendingRows, row)
+			}
+		},
+	}
+	if err := rundir.Follow(*runDir, rundir.FollowOptions{Poll: *poll, Idle: *idle}, stop, sink); err != nil {
+		fail(err)
+	}
+	if engine == nil {
+		fail(fmt.Errorf("stopped before %s appeared in %s", "run.json", *runDir))
+	}
+
+	out, err := engine.Finalize()
+	if err != nil {
+		fail(err)
+	}
+	st := engine.Stats()
+	fmt.Fprintf(os.Stderr,
+		"serve: run complete: %d events (%d skipped lines), %d samples, %d windows\n",
+		st.Events, st.ParseErrors, st.Samples, st.WindowsFlushed)
+	if out != nil {
+		fmt.Fprintf(os.Stderr, "serve: exact report ready at /report\n")
+	} else {
+		fmt.Fprintf(os.Stderr, "serve: bounded mode: live profile at /profile, no exact /report\n")
+	}
+
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+}
+
+// buildEngine resolves the run's models through the same entry point as the
+// batch CLI and sizes the streaming engine from the run metadata.
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool) (*stream.Engine, error) {
+	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
+		Job:              info.Job,
+		Cores:            info.Cores,
+		NetBandwidth:     info.NetBandwidth,
+		DiskBandwidth:    info.DiskBandwidth,
+		ThreadsPerWorker: info.ThreadsPerWorker,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resources := 3 // cpu, net-in, net-out
+	if info.DiskBandwidth > 0 {
+		resources++
+	}
+	cfg := stream.Config{
+		Models:            models,
+		WindowSlices:      window,
+		MaxWindows:        maxWin,
+		ExpectedInstances: info.Workers * resources,
+		RetainForFinal:    !bounded,
+	}
+	if timeslice > 0 {
+		cfg.Timeslice = vtime.Duration(timeslice)
+	}
+	return stream.New(cfg)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	os.Exit(1)
+}

@@ -97,6 +97,22 @@ func (ip *InstanceProfile) EstimatedDemand(k int) float64 {
 	return ip.KnownDemand[k] + ip.VariableWeight[k]
 }
 
+// Totals integrates the instance profile over the profiled span: total
+// upsampled consumption, the part attributed to phases, and the part no
+// rule could absorb, all in unit·seconds. Attribution coverage — the live
+// service's headline quality metric — is attributed/consumed.
+func (ip *InstanceProfile) Totals(slices core.Timeslices) (consumed, attributed, unattributed float64) {
+	for k := 0; k < slices.Count; k++ {
+		s := slices.SliceSeconds(k)
+		consumed += ip.Consumption[k] * s
+		unattributed += ip.Unattributed[k] * s
+	}
+	for _, u := range ip.Usage {
+		attributed += u.Total(slices)
+	}
+	return consumed, attributed, unattributed
+}
+
 // Profile is the full attribution output.
 type Profile struct {
 	Trace     *core.ExecutionTrace
@@ -127,11 +143,26 @@ type competitor struct {
 // instance in the trace.
 func Attribute(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.RuleSet,
 	slices core.Timeslices) (*Profile, error) {
+	return AttributeWindow(tr, tr.Leaves(), rt, rules, slices)
+}
+
+// AttributeWindow runs the same attribution process restricted to the window
+// covered by the slices argument: monitoring samples are clipped to the
+// window, and leaves contribute only the activity that falls inside it. The
+// batch path (Attribute) and the online path (internal/stream) share this
+// one implementation; the window is simply the whole run in the batch case.
+//
+// leaves is the candidate leaf set, normally tr.Leaves() or, when streaming,
+// the phases known to overlap the window; phases outside the window are
+// harmless (they contribute no demand and are pruned from the usage list).
+// The caller must sort leaves by (Start, Path) — the order tr.Leaves()
+// returns — so per-slice floating-point accumulation is deterministic.
+func AttributeWindow(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
+	rules *core.RuleSet, slices core.Timeslices) (*Profile, error) {
 	if slices.Count == 0 {
 		return nil, fmt.Errorf("attribution: empty timeslice span")
 	}
 	prof := &Profile{Trace: tr, Slices: slices, Rules: rules, byKey: map[string]*InstanceProfile{}}
-	leaves := tr.Leaves()
 	for _, ri := range rt.Instances() {
 		ip, err := attributeInstance(ri, leaves, rules, slices)
 		if err != nil {

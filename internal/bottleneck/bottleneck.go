@@ -97,10 +97,24 @@ func (r *Report) ForPhase(p *core.Phase) []*PhaseBottleneck { return r.byPhase[p
 
 // Detect runs all three detectors over an attribution profile.
 func Detect(prof *attribution.Profile, cfg Config) *Report {
+	return detect(prof, cfg, false)
+}
+
+// DetectWindow runs the same detectors over a window-scoped profile (one
+// produced by attribution.AttributeWindow): blocking bottlenecks are clipped
+// to the profile's slice span, so a stall is charged to the windows it
+// overlaps rather than to the window that happens to contain the phase. The
+// batch and streaming paths share this one implementation; Detect is the
+// whole-run window.
+func DetectWindow(prof *attribution.Profile, cfg Config) *Report {
+	return detect(prof, cfg, true)
+}
+
+func detect(prof *attribution.Profile, cfg Config, windowed bool) *Report {
 	cfg.fill()
 	rep := &Report{Saturated: map[string][]int{}, byPhase: map[*core.Phase][]*PhaseBottleneck{}}
 
-	detectBlocking(prof, rep)
+	detectBlocking(prof, rep, windowed)
 	detectConsumable(prof, cfg, rep)
 
 	sort.Slice(rep.Bottlenecks, func(i, j int) bool {
@@ -120,10 +134,15 @@ func Detect(prof *attribution.Profile, cfg Config) *Report {
 }
 
 // detectBlocking turns blocking events into bottlenecks: any time a phase is
-// blocked, the blocking resource delays it (§III-E).
-func detectBlocking(prof *attribution.Profile, rep *Report) {
+// blocked, the blocking resource delays it (§III-E). When windowed, stalls
+// are clipped to the profile's slice span and zero-overlap phases skipped.
+func detectBlocking(prof *attribution.Profile, rep *Report, windowed bool) {
+	w0, w1 := prof.Slices.Start, prof.Slices.End
 	prof.Trace.Root.Walk(func(p *core.Phase) {
 		if p == prof.Trace.Root || len(p.Blocked) == 0 {
+			return
+		}
+		if windowed && (p.End <= w0 || p.Start >= w1) {
 			return
 		}
 		resources := map[string]bool{}
@@ -136,12 +155,40 @@ func detectBlocking(prof *attribution.Profile, rep *Report) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
+			t := p.BlockedTime(name)
+			if windowed {
+				if t = clippedBlockedTime(p, name, w0, w1); t <= 0 {
+					continue
+				}
+			}
 			rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
 				Phase: p, Resource: name, Machine: core.GlobalMachine,
-				Kind: Blocking, Time: p.BlockedTime(name),
+				Kind: Blocking, Time: t,
 			})
 		}
 	})
+}
+
+// clippedBlockedTime unions the phase's own blocking intervals on one
+// resource clipped to [t0, t1). Intervals are sorted by start, as in
+// Phase.BlockedTime.
+func clippedBlockedTime(p *core.Phase, resource string, t0, t1 vtime.Time) vtime.Duration {
+	var total vtime.Duration
+	lastEnd := t0
+	for _, b := range p.Blocked {
+		if b.Resource != resource {
+			continue
+		}
+		s, e := vtime.Max(b.Start, t0), vtime.Min(b.End, t1)
+		if s < lastEnd {
+			s = lastEnd
+		}
+		if e > s {
+			total += e.Sub(s)
+			lastEnd = e
+		}
+	}
+	return total
 }
 
 // detectConsumable finds saturation and exact-limit bottlenecks from the

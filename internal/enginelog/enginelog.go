@@ -131,6 +131,7 @@ func Parent(path string) string {
 type Logger struct {
 	now func() vtime.Time
 	log Log
+	tee func(Event)
 }
 
 // NewLogger creates a logger reading timestamps from now.
@@ -138,16 +139,27 @@ func NewLogger(now func() vtime.Time) *Logger {
 	return &Logger{now: now}
 }
 
+// SetTee installs a hook invoked synchronously for every event as it is
+// logged, in addition to the in-memory accumulation. This is the in-process
+// streaming path: a live consumer (e.g. internal/stream) observes the
+// execution while it runs instead of waiting for the full log.
+func (l *Logger) SetTee(fn func(Event)) { l.tee = fn }
+
+func (l *Logger) emit(e Event) {
+	l.log.Events = append(l.log.Events, e)
+	if l.tee != nil {
+		l.tee(e)
+	}
+}
+
 // StartPhase logs the beginning of a phase on a machine (-1 if unbound).
 func (l *Logger) StartPhase(path string, machine int) {
-	l.log.Events = append(l.log.Events, Event{
-		Kind: PhaseStart, Time: l.now(), Path: path, Machine: machine,
-	})
+	l.emit(Event{Kind: PhaseStart, Time: l.now(), Path: path, Machine: machine})
 }
 
 // EndPhase logs the end of a phase.
 func (l *Logger) EndPhase(path string) {
-	l.log.Events = append(l.log.Events, Event{Kind: PhaseEnd, Time: l.now(), Path: path})
+	l.emit(Event{Kind: PhaseEnd, Time: l.now(), Path: path})
 }
 
 // BlockedSince logs a blocking interval that started at `since` and ends now.
@@ -157,9 +169,7 @@ func (l *Logger) BlockedSince(path, resource string, since vtime.Time) {
 	if now <= since {
 		return
 	}
-	l.log.Events = append(l.log.Events, Event{
-		Kind: Blocked, Time: since, End: now, Path: path, Resource: resource,
-	})
+	l.emit(Event{Kind: Blocked, Time: since, End: now, Path: path, Resource: resource})
 }
 
 // BlockedFor logs a blocking interval of duration d ending now.
@@ -173,9 +183,7 @@ func (l *Logger) BlockedFor(path, resource string, d vtime.Duration) {
 
 // AddCounter logs a named scalar.
 func (l *Logger) AddCounter(name string, value float64) {
-	l.log.Events = append(l.log.Events, Event{
-		Kind: Counter, Time: l.now(), Name: name, Value: value,
-	})
+	l.emit(Event{Kind: Counter, Time: l.now(), Name: name, Value: value})
 }
 
 // Log returns the accumulated events.

@@ -1,0 +1,57 @@
+package enginelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through both the lenient reader and the
+// strict one: neither may panic, the lenient one must never return a parse
+// failure (only count it), and every event the lenient path accepts must
+// survive a write/read round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("S 0 2 /app\nE 10 /app\n")
+	f.Add("B 5 9 gc /app/worker.0\nC 3 msgs 1.5\n")
+	f.Add("# comment\n\nS zero 1 /app\n")
+	f.Add("S 9223372036854775807 -1 /a\nE -9223372036854775808 /a\n")
+	f.Add("B 10 5 gc /app\nX what\nS 0\n")
+	f.Add(strings.Repeat("A", 300) + " 1 2 3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		log, stats, err := ReadStats(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("ReadStats returned I/O error on in-memory input: %v", err)
+		}
+		if stats.Events != len(log.Events) {
+			t.Fatalf("stats.Events = %d, got %d events", stats.Events, len(log.Events))
+		}
+		if stats.Events+stats.Skipped != stats.Lines {
+			t.Fatalf("stats inconsistent: %+v", stats)
+		}
+		if stats.Skipped > 0 && stats.FirstError == "" {
+			t.Fatalf("skipped lines but no FirstError: %+v", stats)
+		}
+
+		// The strict reader may reject, but must not panic either.
+		_, _ = Read(strings.NewReader(in))
+
+		// Accepted events must round-trip through the writer and the strict
+		// reader.
+		var buf bytes.Buffer
+		if werr := Write(&buf, log); werr != nil {
+			t.Fatalf("Write of parsed events failed: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected accepted events: %v\ninput: %q", rerr, in)
+		}
+		if len(back.Events) != len(log.Events) {
+			t.Fatalf("round trip: %d events, want %d", len(back.Events), len(log.Events))
+		}
+		for i := range back.Events {
+			if back.Events[i] != log.Events[i] {
+				t.Fatalf("round trip event %d: %+v != %+v", i, back.Events[i], log.Events[i])
+			}
+		}
+	})
+}

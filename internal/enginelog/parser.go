@@ -1,0 +1,140 @@
+package enginelog
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// ParseStats counts the outcome of parsing an event stream. Both the batch
+// reader (ReadStats) and the streaming parser (Parser) fill one, so malformed
+// input degrades gracefully on either path: bad lines are counted and
+// skipped, never fatal.
+type ParseStats struct {
+	// Lines is the number of non-blank, non-comment lines seen.
+	Lines int
+	// Events is the number of successfully parsed events.
+	Events int
+	// Skipped is the number of malformed lines that were counted and
+	// dropped.
+	Skipped int
+	// Truncated is the number of over-long lines dropped by the line reader
+	// before parsing (a garbled log can splice lines together).
+	Truncated int
+	// FirstError describes the first malformed line, for diagnostics.
+	FirstError string
+}
+
+// Degraded reports whether any input was dropped.
+func (s ParseStats) Degraded() bool { return s.Skipped > 0 || s.Truncated > 0 }
+
+// Parser is an incremental, line-oriented parser for the text log format
+// written by Write. It consumes one line at a time — from a file tail, a
+// network stream, or an in-process pipe — and keeps running ParseStats, so a
+// consumer can observe a log while the producer is still appending to it.
+// Malformed lines are counted, not fatal.
+type Parser struct {
+	stats ParseStats
+}
+
+// ParseLine parses a single line. It returns (event, true, nil) for an event
+// line, (zero, false, nil) for blank lines and comments, and
+// (zero, false, err) for a malformed line, which is counted in Stats but
+// must not abort the stream.
+func (p *Parser) ParseLine(line string) (Event, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Event{}, false, nil
+	}
+	p.stats.Lines++
+	e, err := parseEvent(strings.Fields(line))
+	if err != nil {
+		p.stats.Skipped++
+		if p.stats.FirstError == "" {
+			p.stats.FirstError = err.Error()
+		}
+		return Event{}, false, err
+	}
+	p.stats.Events++
+	return e, true, nil
+}
+
+// Stats returns the accumulated parse statistics.
+func (p *Parser) Stats() ParseStats { return p.stats }
+
+// maxLineLen bounds a single log line; longer lines are garbage by
+// construction (paths and numbers are short) and are dropped, not fatal.
+const maxLineLen = 1 << 20
+
+// forEachLine invokes fn for every newline-terminated line of r (and a final
+// unterminated one), dropping lines longer than maxLineLen in bounded
+// memory. Unlike bufio.Scanner it never fails on over-long input; the
+// returned count is the number of dropped over-long lines.
+func forEachLine(r io.Reader, fn func(line string)) (truncated int, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var pending []byte
+	discarding := false
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			complete := chunk[len(chunk)-1] == '\n'
+			switch {
+			case discarding:
+				if complete {
+					discarding = false
+				}
+			case len(pending)+len(chunk) > maxLineLen:
+				pending = pending[:0]
+				truncated++
+				discarding = !complete
+			case complete:
+				line := chunk
+				if len(pending) > 0 {
+					pending = append(pending, chunk...)
+					line = pending
+				}
+				fn(strings.TrimSuffix(string(line), "\n"))
+				pending = pending[:0]
+			default:
+				pending = append(pending, chunk...)
+			}
+		}
+		switch rerr {
+		case nil, bufio.ErrBufferFull:
+			// keep reading
+		case io.EOF:
+			if !discarding && len(pending) > 0 {
+				fn(string(pending))
+			}
+			return truncated, nil
+		default:
+			return truncated, rerr
+		}
+	}
+}
+
+// ForEachLine invokes fn for every line of r with the same bounded-memory,
+// truncation-tolerant behavior ReadStats uses; streaming consumers pair it
+// with Parser.ParseLine. It returns the number of dropped over-long lines.
+func ForEachLine(r io.Reader, fn func(line string)) (truncated int, err error) {
+	return forEachLine(r, fn)
+}
+
+// ReadStats parses a log leniently: malformed lines are skipped and counted
+// in the returned ParseStats instead of aborting, so a truncated or garbled
+// log still yields every event that survived. Only I/O errors are returned.
+func ReadStats(r io.Reader) (*Log, ParseStats, error) {
+	log := &Log{}
+	var p Parser
+	truncated, err := forEachLine(r, func(line string) {
+		if e, ok, _ := p.ParseLine(line); ok {
+			log.Events = append(log.Events, e)
+		}
+	})
+	stats := p.Stats()
+	stats.Truncated = truncated
+	if err != nil {
+		return nil, stats, err
+	}
+	return log, stats, nil
+}

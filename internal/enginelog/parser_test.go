@@ -1,0 +1,93 @@
+package enginelog
+
+import (
+	"strings"
+	"testing"
+
+	"grade10/internal/vtime"
+)
+
+func TestReadStatsSkipsMalformed(t *testing.T) {
+	in := strings.Join([]string{
+		"# header",
+		"S 0 2 /app",
+		"garbage line here",
+		"S 10 0 /app/worker.0",
+		"B 20 15 gc /app", // inverted interval: skipped
+		"E 30 /app/worker.0",
+		"C 31 msgs notanumber",
+		"E 40 /app",
+		"", // blank
+	}, "\n")
+	log, stats, err := ReadStats(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != 4 {
+		t.Fatalf("%d events, want 4: %+v", len(log.Events), log.Events)
+	}
+	if stats.Lines != 7 || stats.Events != 4 || stats.Skipped != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !stats.Degraded() || stats.FirstError == "" {
+		t.Fatalf("stats should report degradation: %+v", stats)
+	}
+	// The strict reader rejects the same input.
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("strict Read accepted malformed input")
+	}
+}
+
+func TestParserIncremental(t *testing.T) {
+	var p Parser
+	e, ok, err := p.ParseLine("S 5 1 /app")
+	if !ok || err != nil || e.Kind != PhaseStart || e.Machine != 1 {
+		t.Fatalf("event = %+v ok=%v err=%v", e, ok, err)
+	}
+	if _, ok, err := p.ParseLine("# comment"); ok || err != nil {
+		t.Fatal("comment should be silently ignored")
+	}
+	if _, ok, err := p.ParseLine("E five /app"); ok || err == nil {
+		t.Fatal("malformed line should report an error without ok")
+	}
+	s := p.Stats()
+	if s.Lines != 2 || s.Events != 1 || s.Skipped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestReadStatsLongLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("S 0 0 /app\n")
+	sb.WriteString("C 1 x ")
+	sb.WriteString(strings.Repeat("9", maxLineLen+10))
+	sb.WriteString("\nE 2 /app\n")
+	log, stats, err := ReadStats(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(log.Events))
+	}
+	if stats.Truncated != 1 {
+		t.Fatalf("stats = %+v, want 1 truncated", stats)
+	}
+}
+
+func TestLoggerTee(t *testing.T) {
+	now := vtime.Time(0)
+	l := NewLogger(func() vtime.Time { return now })
+	var seen []Event
+	l.SetTee(func(e Event) { seen = append(seen, e) })
+	l.StartPhase("/app", 0)
+	now = vtime.Time(10)
+	l.EndPhase("/app")
+	if len(seen) != 2 || len(l.Log().Events) != 2 {
+		t.Fatalf("tee saw %d events, logger kept %d", len(seen), len(l.Log().Events))
+	}
+	for i := range seen {
+		if seen[i] != l.Log().Events[i] {
+			t.Fatalf("tee event %d diverges: %+v vs %+v", i, seen[i], l.Log().Events[i])
+		}
+	}
+}

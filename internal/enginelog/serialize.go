@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -106,8 +107,8 @@ func parseEvent(fields []string) (Event, error) {
 			Resource: fields[3], Path: fields[4]}, nil
 	default: // "C"
 		v, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return Event{}, fmt.Errorf("bad counter value: %v", err)
+		if err != nil || math.IsNaN(v) {
+			return Event{}, fmt.Errorf("bad counter value %q", fields[3])
 		}
 		return Event{Kind: Counter, Time: vtime.Time(ts), Name: fields[2], Value: v}, nil
 	}

@@ -75,6 +75,20 @@ func diskRules(p ModelParams, rules *core.RuleSet, em *core.ExecutionModel) {
 		Set(prefix+"/write/worker", cluster.ResDisk, core.Variable(1))
 }
 
+// ModelsForEngine builds the built-in tuned models for the named engine
+// ("giraph" or "powergraph"). Both the batch CLI and the live serving layer
+// resolve run metadata through this one entry point.
+func ModelsForEngine(engine string, p ModelParams) (Models, error) {
+	switch engine {
+	case "giraph":
+		return GiraphModel(p)
+	case "powergraph":
+		return PowerGraphModel(p)
+	default:
+		return Models{}, fmt.Errorf("grade10: unknown engine %q", engine)
+	}
+}
+
 // GiraphModel returns the tuned models for the Giraph-like BSP engine: the
 // phase hierarchy of its logs, its hardware and software resources (including
 // GC and message queues), and the attribution rules the paper describes

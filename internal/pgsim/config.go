@@ -21,6 +21,7 @@ package pgsim
 
 import (
 	"grade10/internal/cluster"
+	"grade10/internal/enginelog"
 	"grade10/internal/vtime"
 )
 
@@ -80,6 +81,11 @@ type Config struct {
 	// this many cores (0 disables); NoiseSeed makes it deterministic.
 	OSNoiseCores float64
 	NoiseSeed    int64
+
+	// Tee, when set, observes every log event as it is emitted — the hook
+	// for live characterization (stream.Tap) while the engine runs. It is
+	// called synchronously on the engine's goroutine.
+	Tee func(enginelog.Event)
 }
 
 // DefaultConfig returns a configuration calibrated so compute dominates and

@@ -43,6 +43,9 @@ type Run struct {
 	Info       Info
 	Log        *enginelog.Log
 	Monitoring []cluster.ResourceSamples
+	// LogStats reports how the execution log parsed; a truncated or garbled
+	// log is degraded (skipped lines counted), not fatal.
+	LogStats enginelog.ParseStats
 }
 
 const (
@@ -97,7 +100,7 @@ func Load(dir string) (*Run, error) {
 		return nil, err
 	}
 	defer lf.Close()
-	run.Log, err = enginelog.Read(lf)
+	run.Log, run.LogStats, err = enginelog.ReadStats(lf)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +135,52 @@ func WriteMonitoring(w io.Writer, monitoring []cluster.ResourceSamples) error {
 	return bw.Flush()
 }
 
+// MonitoringRow is one parsed monitoring CSV record: a single coarse sample
+// of one resource instance. It is the unit of streaming monitoring ingest.
+type MonitoringRow struct {
+	Machine  int
+	Resource string
+	Capacity float64
+	Sample   metrics.Sample
+}
+
+// ParseMonitoringLine parses one CSV line written by WriteMonitoring. It
+// returns ok=false for blank lines, comments, and the header.
+func ParseMonitoringLine(line string) (MonitoringRow, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "machine,") || strings.HasPrefix(line, "#") {
+		return MonitoringRow{}, false, nil
+	}
+	fields := strings.Split(line, ",")
+	if len(fields) != 6 {
+		return MonitoringRow{}, false, fmt.Errorf("expected 6 fields, got %d", len(fields))
+	}
+	machine, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return MonitoringRow{}, false, fmt.Errorf("machine: %v", err)
+	}
+	capacity, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return MonitoringRow{}, false, fmt.Errorf("capacity: %v", err)
+	}
+	start, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return MonitoringRow{}, false, fmt.Errorf("start: %v", err)
+	}
+	end, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return MonitoringRow{}, false, fmt.Errorf("end: %v", err)
+	}
+	avg, err := strconv.ParseFloat(fields[5], 64)
+	if err != nil {
+		return MonitoringRow{}, false, fmt.Errorf("avg: %v", err)
+	}
+	return MonitoringRow{
+		Machine: machine, Resource: fields[1], Capacity: capacity,
+		Sample: metrics.Sample{Start: vtime.Time(start), End: vtime.Time(end), Avg: avg},
+	}, true, nil
+}
+
 // ReadMonitoring parses the CSV written by WriteMonitoring.
 func ReadMonitoring(r io.Reader) ([]cluster.ResourceSamples, error) {
 	sc := bufio.NewScanner(r)
@@ -145,47 +194,24 @@ func ReadMonitoring(r io.Reader) ([]cluster.ResourceSamples, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "machine,") || strings.HasPrefix(line, "#") {
+		row, ok, err := ParseMonitoringLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("rundir: monitoring line %d: %v", lineNo, err)
+		}
+		if !ok {
 			continue
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) != 6 {
-			return nil, fmt.Errorf("rundir: monitoring line %d: expected 6 fields, got %d", lineNo, len(fields))
-		}
-		machine, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("rundir: monitoring line %d: machine: %v", lineNo, err)
-		}
-		capacity, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("rundir: monitoring line %d: capacity: %v", lineNo, err)
-		}
-		start, err := strconv.ParseInt(fields[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("rundir: monitoring line %d: start: %v", lineNo, err)
-		}
-		end, err := strconv.ParseInt(fields[4], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("rundir: monitoring line %d: end: %v", lineNo, err)
-		}
-		avg, err := strconv.ParseFloat(fields[5], 64)
-		if err != nil {
-			return nil, fmt.Errorf("rundir: monitoring line %d: avg: %v", lineNo, err)
-		}
-		k := key{machine, fields[1]}
+		k := key{row.Machine, row.Resource}
 		rs, ok := byKey[k]
 		if !ok {
 			rs = &cluster.ResourceSamples{
-				Machine: machine, Resource: fields[1], Capacity: capacity,
+				Machine: row.Machine, Resource: row.Resource, Capacity: row.Capacity,
 				Samples: &metrics.SampleSeries{},
 			}
 			byKey[k] = rs
 			order = append(order, k)
 		}
-		rs.Samples.Samples = append(rs.Samples.Samples, metrics.Sample{
-			Start: vtime.Time(start), End: vtime.Time(end), Avg: avg,
-		})
+		rs.Samples.Samples = append(rs.Samples.Samples, row.Sample)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

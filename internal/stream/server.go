@@ -1,0 +1,249 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"grade10/internal/report"
+)
+
+// Server exposes an Engine's live profile over HTTP:
+//
+//	/profile     full live snapshot (JSON)
+//	/phases      open phases and per-type aggregates (JSON)
+//	/bottlenecks cumulative bottleneck rows (JSON)
+//	/windows     the recent-window ring (JSON)
+//	/stats       ingest and robustness counters (JSON)
+//	/metrics     Prometheus text format
+//	/report      the final batch-identical report (text; 503 until finalized)
+//	/healthz     liveness
+//
+// Server is an http.Handler; mount it on any mux or serve it directly.
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+
+	mu         sync.Mutex
+	reportText []byte // cached render of the exact final report
+}
+
+// NewServer wraps an engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/profile", s.handleProfile)
+	s.mux.HandleFunc("/phases", s.handlePhases)
+	s.mux.HandleFunc("/bottlenecks", s.handleBottlenecks)
+	s.mux.HandleFunc("/windows", s.handleWindows)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "grade10 live characterization")
+	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /healthz")
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.engine.Snapshot())
+}
+
+func (s *Server) handlePhases(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Snapshot()
+	writeJSON(w, struct {
+		WatermarkSeconds float64                 `json:"watermark_seconds"`
+		OpenPhases       []OpenPhase             `json:"open_phases"`
+		PhaseTypes       []TypeSummary           `json:"phase_types"`
+		Counters         map[string]CounterValue `json:"counters,omitempty"`
+	}{snap.WatermarkSeconds, snap.OpenPhases, snap.PhaseTypes, snap.Counters})
+}
+
+func (s *Server) handleBottlenecks(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Snapshot()
+	writeJSON(w, struct {
+		Coverage    float64             `json:"coverage"`
+		Bottlenecks []BottleneckSummary `json:"bottlenecks"`
+	}{snap.Coverage, snap.Bottlenecks})
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Snapshot()
+	writeJSON(w, struct {
+		WindowSeconds float64         `json:"window_seconds"`
+		Windows       []*WindowResult `json:"windows"`
+	}{snap.WindowSeconds, snap.Windows})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.engine.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReport serves the exact final report. Until Finalize has run it
+// answers 503; in bounded mode (no retained inputs) it points at the live
+// endpoints instead.
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	out, finalized, err := s.engine.FinalStatus()
+	switch {
+	case !finalized:
+		http.Error(w, "run still in progress; try /profile", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, "finalization failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	case out == nil:
+		http.Error(w, "exact report unavailable in bounded mode; see /profile", http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	if s.reportText == nil {
+		var buf bytes.Buffer
+		if werr := report.WriteAll(&buf, out); werr != nil {
+			s.mu.Unlock()
+			http.Error(w, "rendering report: "+werr.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.reportText = buf.Bytes()
+	}
+	text := s.reportText
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(text)
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+type promWriter struct {
+	w   *bytes.Buffer
+	cur string
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	p.cur = name
+}
+
+func (p *promWriter) value(labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s %g\n", p.cur, v)
+		return
+	}
+	fmt.Fprintf(p.w, "%s{%s} %g\n", p.cur, labels, v)
+}
+
+// handleMetrics renders the live profile in Prometheus text exposition
+// format (hand-rolled; no client library).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Snapshot()
+	p := &promWriter{w: &bytes.Buffer{}}
+
+	p.family("grade10_ingest_lines_total", "Log lines seen by the parser.", "counter")
+	p.value("", float64(snap.Stats.Lines))
+	p.family("grade10_parse_errors_total", "Malformed log lines counted and skipped.", "counter")
+	p.value("", float64(snap.Stats.ParseErrors))
+	p.family("grade10_truncated_lines_total", "Over-long log lines dropped by the line reader.", "counter")
+	p.value("", float64(snap.Stats.Truncated))
+	p.family("grade10_events_total", "Accepted enginelog events.", "counter")
+	p.value("", float64(snap.Stats.Events))
+	p.family("grade10_invalid_events_total", "Events rejected for violating phase structure.", "counter")
+	p.value("", float64(snap.Stats.InvalidEvents))
+	p.family("grade10_late_events_total", "Blocking intervals arriving behind the flushed frontier.", "counter")
+	p.value("", float64(snap.Stats.LateEvents))
+	p.family("grade10_dropped_events_total", "Events shed by a bounded ingest buffer.", "counter")
+	p.value("", float64(snap.Stats.DroppedEvents))
+	p.family("grade10_samples_total", "Accepted monitoring samples.", "counter")
+	p.value("", float64(snap.Stats.Samples))
+	p.family("grade10_invalid_samples_total", "Monitoring samples dropped as malformed.", "counter")
+	p.value("", float64(snap.Stats.InvalidSamples))
+	p.family("grade10_monitoring_gaps_filled_total", "Monitoring gaps zero-filled.", "counter")
+	p.value("", float64(snap.Stats.GapsFilled))
+	p.family("grade10_ignored_samples_total", "Samples for resources the model does not cover.", "counter")
+	p.value("", float64(snap.Stats.IgnoredSamples))
+	p.family("grade10_windows_flushed_total", "Analysis windows flushed.", "counter")
+	p.value("", float64(snap.Stats.WindowsFlushed))
+
+	p.family("grade10_open_phases", "Phases currently executing.", "gauge")
+	p.value("", float64(len(snap.OpenPhases)))
+	p.family("grade10_watermark_seconds", "Latest virtual instant covered by the log feed.", "gauge")
+	p.value("", snap.WatermarkSeconds)
+	p.family("grade10_frontier_seconds", "Virtual instant up to which windows have flushed.", "gauge")
+	p.value("", snap.FrontierSeconds)
+	p.family("grade10_ingest_lag_seconds", "Virtual time the watermark runs ahead of the flushed frontier.", "gauge")
+	p.value("", snap.LagSeconds)
+	p.family("grade10_attribution_coverage", "Attributed / consumed over all flushed windows.", "gauge")
+	p.value("", snap.Coverage)
+	p.family("grade10_finalized", "1 once the run has been finalized.", "gauge")
+	fin := 0.0
+	if snap.Finalized {
+		fin = 1
+	}
+	p.value("", fin)
+
+	p.family("grade10_resource_utilization", "Cumulative utilization of a resource instance over flushed windows.", "gauge")
+	for _, is := range snap.Instances {
+		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.Utilization)
+	}
+	p.family("grade10_resource_last_window_utilization", "Utilization of a resource instance in the most recent window.", "gauge")
+	for _, is := range snap.Instances {
+		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.LastWindowUtilization)
+	}
+	p.family("grade10_resource_saturated_seconds_total", "Virtual seconds a resource instance spent saturated.", "counter")
+	for _, is := range snap.Instances {
+		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.SaturatedSeconds)
+	}
+	p.family("grade10_bottleneck_seconds_total", "Virtual seconds of detected bottleneck per phase type, resource, and kind.", "counter")
+	for _, b := range snap.Bottlenecks {
+		p.value(fmt.Sprintf("type_path=%q,resource=%q,kind=%q",
+			promEscape(b.TypePath), promEscape(b.Resource), promEscape(b.Kind)), b.Seconds)
+	}
+
+	if len(snap.Counters) > 0 {
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.family("grade10_engine_counter_sum", "Sum of an engine-reported counter.", "gauge")
+		for _, name := range names {
+			p.value(fmt.Sprintf("name=%q", promEscape(name)), snap.Counters[name].Sum)
+		}
+		p.family("grade10_engine_counter_last", "Last value of an engine-reported counter.", "gauge")
+		for _, name := range names {
+			p.value(fmt.Sprintf("name=%q", promEscape(name)), snap.Counters[name].Last)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(p.w.Bytes())
+}
