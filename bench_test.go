@@ -10,9 +10,13 @@ package grade10_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"grade10/internal/attribution"
 	"grade10/internal/bottleneck"
@@ -152,7 +156,7 @@ func BenchmarkFig6SyncBug(b *testing.B) {
 
 // --- Ablation and substrate micro-benchmarks ---
 
-func analyzerFixture(b *testing.B) (*core.ExecutionTrace, *core.ResourceTrace,
+func analyzerFixture(b testing.TB) (*core.ExecutionTrace, *core.ResourceTrace,
 	*core.RuleSet, core.Timeslices) {
 	b.Helper()
 	cfg := giraphsim.DefaultConfig()
@@ -440,6 +444,147 @@ func BenchmarkStreamIngest(b *testing.B) {
 			b.ReportMetric(float64(eng.Stats().WindowsFlushed), "windows")
 		}
 	}
+}
+
+// --- Serial vs parallel pipeline benchmarks ---
+
+// benchWorkerCounts are the pool sizes the parallel benchmarks sweep.
+// workers=1 is the serial baseline (par.Do runs inline, no goroutines).
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkAttributionParallel measures the attribution fan-out across
+// (resource, machine) instances at increasing pool sizes. Output is
+// byte-identical at every width (see TestPipelineParallelReportBitIdentical);
+// only wall-clock should move.
+func BenchmarkAttributionParallel(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := attribution.AttributeN(tr, rt, rules, slices, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIssueReplayParallel measures the §III-F candidate replays — one
+// full trace re-simulation per bottleneck-removal or imbalance candidate —
+// distributed over the worker pool.
+func BenchmarkIssueReplayParallel(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	prof, err := attribution.Attribute(tr, rt, rules, slices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	btl := bottleneck.Detect(prof, bottleneck.DefaultConfig())
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := issues.DefaultConfig()
+			cfg.Parallelism = w
+			for i := 0; i < b.N; i++ {
+				issues.Analyze(prof, btl, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkSuperstepParallel measures the BSP engine with the host-side
+// per-partition superstep precompute fanned out over the pool. Virtual time
+// and the engine log are unaffected (see giraphsim's determinism guard).
+func BenchmarkSuperstepParallel(b *testing.B) {
+	g := graph.RMAT(11, 8, 42)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := giraphsim.DefaultConfig()
+			cfg.Workers = 4
+			cfg.Parallelism = w
+			part := graph.HashPartition(g, cfg.Workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := giraphsim.Run(vertexprog.NewPageRank(g, 0.85, 5), part, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBenchPipeline is the perf-trajectory harness: set
+// GRADE10_WRITE_BENCH=1 to time the serial and parallel pipeline stages and
+// write the results (with honest host-core counts — speedup requires real
+// cores) to BENCH_pipeline.json for comparison across PRs.
+//
+//	GRADE10_WRITE_BENCH=1 go test -run TestWriteBenchPipeline -count=1 .
+func TestWriteBenchPipeline(t *testing.T) {
+	if os.Getenv("GRADE10_WRITE_BENCH") == "" {
+		t.Skip("set GRADE10_WRITE_BENCH=1 to write BENCH_pipeline.json")
+	}
+	tr, rt, rules, slices := analyzerFixture(t)
+	prof, err := attribution.Attribute(tr, rt, rules, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btl := bottleneck.Detect(prof, bottleneck.DefaultConfig())
+
+	type stage struct {
+		Name    string             `json:"name"`
+		NsPerOp map[string]float64 `json:"ns_per_op"` // key: workers=N
+		Speedup map[string]float64 `json:"speedup"`   // vs workers=1
+	}
+	timeStage := func(name string, run func(workers int)) stage {
+		s := stage{Name: name, NsPerOp: map[string]float64{}, Speedup: map[string]float64{}}
+		for _, w := range benchWorkerCounts {
+			w := w
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run(w)
+				}
+			})
+			s.NsPerOp[fmt.Sprintf("workers=%d", w)] = float64(r.NsPerOp())
+		}
+		base := s.NsPerOp["workers=1"]
+		for k, ns := range s.NsPerOp {
+			s.Speedup[k] = base / ns
+		}
+		return s
+	}
+
+	stages := []stage{
+		timeStage("attribution", func(w int) {
+			if _, err := attribution.AttributeN(tr, rt, rules, slices, w); err != nil {
+				t.Fatal(err)
+			}
+		}),
+		timeStage("issue_replay", func(w int) {
+			cfg := issues.DefaultConfig()
+			cfg.Parallelism = w
+			issues.Analyze(prof, btl, cfg)
+		}),
+	}
+
+	out := struct {
+		Date       string  `json:"date"`
+		HostCPUs   int     `json:"host_cpus"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Note       string  `json:"note"`
+		Stages     []stage `json:"stages"`
+	}{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "speedup is relative to workers=1 on this host; " +
+			"parallel gains need host_cpus > 1",
+		Stages: stages,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_pipeline.json (host_cpus=%d)", out.HostCPUs)
 }
 
 // BenchmarkDataflowEngine measures the Spark-like extension engine.

@@ -87,6 +87,17 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatal("analysis with dumped models differs from built-ins")
 	}
 
+	// Serial and parallel analysis produce byte-identical reports: the
+	// worker-pool fan-out merges in deterministic order.
+	serialRep := run("grade10", "-run", runDir, "-parallelism", "1")
+	parallelRep := run("grade10", "-run", runDir, "-parallelism", "8")
+	if serialRep != parallelRep {
+		t.Fatal("-parallelism 8 report differs from -parallelism 1")
+	}
+	if stripDiag(serialRep) != stripDiag(report) {
+		t.Fatal("-parallelism 1 report differs from the default analysis")
+	}
+
 	// Untuned analysis differs (fewer blocking events, no Exact rules).
 	untuned := run("grade10", "-run", runDir, "-untuned")
 	if untuned == report {

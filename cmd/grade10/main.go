@@ -32,6 +32,7 @@ func main() {
 		csvOut    = flag.String("csv", "", "write per-timeslice consumption CSV to this file")
 		modelsIn  = flag.String("models", "", "load models from this JSON file instead of the built-ins")
 		modelsOut = flag.String("dump-models", "", "write the models used to this JSON file")
+		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); output is identical for every value")
 	)
 	flag.Parse()
 	if *runDir == "" {
@@ -66,10 +67,11 @@ func main() {
 		ts = vtime.Duration(*timeslice)
 	}
 	out, err := grade10.Characterize(grade10.Input{
-		Log:        log,
-		Monitoring: run.Monitoring,
-		Models:     models,
-		Timeslice:  ts,
+		Log:         log,
+		Monitoring:  run.Monitoring,
+		Models:      models,
+		Timeslice:   ts,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		fail(err)

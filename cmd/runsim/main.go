@@ -48,6 +48,8 @@ func main() {
 		out       = flag.String("out", "", "output run directory (required)")
 		serveAddr = flag.String("serve", "", "serve live characterization on this address while the simulation runs")
 		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
+		parallel  = flag.Int("parallelism", 0, "host-side precompute/analysis worker count (0 = GOMAXPROCS); logs and results are identical for every value")
+		pprofOn   = flag.Bool("pprof", false, "with -serve: expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -75,8 +77,9 @@ func main() {
 		cfg := experiments.GiraphConfig(*scale)
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
+		cfg.Parallelism = *parallel
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine)
+			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn)
 			if err != nil {
 				fail(err)
 			}
@@ -107,8 +110,9 @@ func main() {
 		cfg := experiments.PowerGraphConfig(*scale, *bug)
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
+		cfg.Parallelism = *parallel
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine)
+			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn)
 			if err != nil {
 				fail(err)
 			}
@@ -160,7 +164,7 @@ type liveServe struct {
 // startLive builds the streaming engine from the same models the batch
 // analyzer would resolve for this run, installs the HTTP server, and returns
 // the bundle whose tap hook goes into the simulator's Config.Tee.
-func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec) (*liveServe, error) {
+func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn bool) (*liveServe, error) {
 	models, err := grade10.ModelsForEngine(engineName, grade10.ModelParams{
 		Job:              job,
 		Cores:            m.Cores,
@@ -179,14 +183,19 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 		Models:            models,
 		ExpectedInstances: workers * resources,
 		RetainForFinal:    true,
+		Parallelism:       parallel,
 	})
 	if err != nil {
 		return nil, err
 	}
+	handler := stream.NewServer(se)
+	if pprofOn {
+		handler.EnablePprof()
+	}
 	ls := &liveServe{
 		engine: se,
 		tap:    stream.NewTap(se, 0, stream.BlockWhenFull),
-		srv:    &http.Server{Addr: addr, Handler: stream.NewServer(se)},
+		srv:    &http.Server{Addr: addr, Handler: handler},
 	}
 	go func() {
 		if err := ls.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

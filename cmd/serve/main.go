@@ -44,6 +44,8 @@ func main() {
 		window    = flag.Int("window", 64, "timeslices per live analysis window")
 		maxWin    = flag.Int("max-windows", 32, "recent windows retained for /windows")
 		bounded   = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
+		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *runDir == "" {
@@ -91,7 +93,7 @@ func main() {
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded)
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel)
 			if err != nil {
 				fail(err)
 			}
@@ -103,7 +105,11 @@ func main() {
 				engine.IngestRow(row)
 			}
 			pendingLines, pendingRows = nil, nil
-			live := http.Handler(stream.NewServer(engine))
+			srv := stream.NewServer(engine)
+			if *pprofOn {
+				srv.EnablePprof()
+			}
+			live := http.Handler(srv)
 			handler.Store(&live)
 			fmt.Fprintf(os.Stderr, "serve: %s run of %q on %d workers; live endpoints up\n",
 				info.Engine, info.Job, info.Workers)
@@ -152,7 +158,7 @@ func main() {
 
 // buildEngine resolves the run's models through the same entry point as the
 // batch CLI and sizes the streaming engine from the run metadata.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool) (*stream.Engine, error) {
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -173,6 +179,7 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		MaxWindows:        maxWin,
 		ExpectedInstances: info.Workers * resources,
 		RetainForFinal:    !bounded,
+		Parallelism:       parallel,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)

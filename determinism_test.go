@@ -1,0 +1,62 @@
+package grade10_test
+
+import (
+	"bytes"
+	"testing"
+
+	"grade10/internal/cluster"
+	"grade10/internal/giraphsim"
+	"grade10/internal/grade10"
+	"grade10/internal/graph"
+	"grade10/internal/report"
+	"grade10/internal/vtime"
+	"grade10/internal/workload"
+)
+
+// TestPipelineParallelReportBitIdentical is the end-to-end determinism guard
+// for PR 2's parallelization: the complete rendered report — attribution,
+// bottlenecks, issue detection, critical path — must be byte-identical
+// whether the analysis pipeline runs serially or fanned out across workers.
+func TestPipelineParallelReportBitIdentical(t *testing.T) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "det", Gen: func() *graph.Graph { return graph.RMAT(10, 8, 42) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(run.Result.Cluster, run.Result.Start, run.Result.End,
+		50*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(parallelism int) []byte {
+		t.Helper()
+		out, err := grade10.Characterize(grade10.Input{
+			Log:         run.Result.Log,
+			Monitoring:  mon,
+			Models:      run.Models,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteAll(&buf, out); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("empty serial report")
+	}
+	for _, workers := range []int{0, 2, 8} {
+		if par := render(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("parallelism %d: report differs from serial run", workers)
+		}
+	}
+}

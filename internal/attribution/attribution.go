@@ -18,9 +18,11 @@ package attribution
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"grade10/internal/core"
 	"grade10/internal/metrics"
+	"grade10/internal/par"
 	"grade10/internal/vtime"
 )
 
@@ -79,7 +81,7 @@ func (ip *InstanceProfile) UsageOf(p *core.Phase) *PhaseUsage { return ip.byPhas
 // UpsampledSeries converts the per-slice consumption into a step function
 // over the profiled span.
 func (ip *InstanceProfile) UpsampledSeries(slices core.Timeslices) *metrics.Series {
-	s := &metrics.Series{}
+	s := metrics.NewSeries(slices.Count + 1)
 	for k := 0; k < slices.Count; k++ {
 		t0, _ := slices.Bounds(k)
 		s.Set(t0, ip.Consumption[k])
@@ -140,10 +142,16 @@ type competitor struct {
 }
 
 // Attribute runs the three-step attribution process over every resource
-// instance in the trace.
+// instance in the trace, fanning instances out over par.Default() workers.
 func Attribute(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.RuleSet,
 	slices core.Timeslices) (*Profile, error) {
-	return AttributeWindow(tr, tr.Leaves(), rt, rules, slices)
+	return AttributeWindowN(tr, tr.Leaves(), rt, rules, slices, 0)
+}
+
+// AttributeN is Attribute with an explicit worker count (0 = par.Default()).
+func AttributeN(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.RuleSet,
+	slices core.Timeslices, workers int) (*Profile, error) {
+	return AttributeWindowN(tr, tr.Leaves(), rt, rules, slices, workers)
 }
 
 // AttributeWindow runs the same attribution process restricted to the window
@@ -159,17 +167,34 @@ func Attribute(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.Rule
 // returns — so per-slice floating-point accumulation is deterministic.
 func AttributeWindow(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
 	rules *core.RuleSet, slices core.Timeslices) (*Profile, error) {
+	return AttributeWindowN(tr, leaves, rt, rules, slices, 0)
+}
+
+// AttributeWindowN is AttributeWindow with an explicit worker count
+// (0 = par.Default()). Instances are attributed concurrently — each
+// (resource, machine) pair is independent — and merged into the profile in
+// the deterministic rt.Instances() order, so the result is identical for
+// every worker count.
+func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
+	rules *core.RuleSet, slices core.Timeslices, workers int) (*Profile, error) {
 	if slices.Count == 0 {
 		return nil, fmt.Errorf("attribution: empty timeslice span")
 	}
-	prof := &Profile{Trace: tr, Slices: slices, Rules: rules, byKey: map[string]*InstanceProfile{}}
-	for _, ri := range rt.Instances() {
-		ip, err := attributeInstance(ri, leaves, rules, slices)
-		if err != nil {
-			return nil, err
+	instances := rt.Instances()
+	prof := &Profile{Trace: tr, Slices: slices, Rules: rules,
+		Instances: make([]*InstanceProfile, 0, len(instances)),
+		byKey:     make(map[string]*InstanceProfile, len(instances))}
+	results := make([]*InstanceProfile, len(instances))
+	errs := make([]error, len(instances))
+	par.Do(len(instances), workers, func(i int) {
+		results[i], errs[i] = attributeInstance(instances[i], leaves, rules, slices)
+	})
+	for i, ri := range instances {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		prof.Instances = append(prof.Instances, ip)
-		prof.byKey[ri.Key()] = ip
+		prof.Instances = append(prof.Instances, results[i])
+		prof.byKey[ri.Key()] = results[i]
 	}
 	return prof, nil
 }
@@ -232,6 +257,9 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 	}
 
 	// Keep only phases that received any consumption.
+	if len(competitors) > 0 {
+		ip.Usage = make([]*PhaseUsage, 0, len(competitors))
+	}
 	for _, c := range competitors {
 		any := false
 		for _, r := range c.usage.Rates {
@@ -253,12 +281,37 @@ type competitorActivity struct {
 	activity float64
 }
 
+// upsampleScratch holds the per-measurement working buffers of upsample, one
+// flat backing array sliced six ways. Pooled because upsample runs once per
+// monitoring sample per instance — the hottest allocation site of the whole
+// attribution pass — and concurrently across instances.
+type upsampleScratch struct {
+	buf []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(upsampleScratch) }}
+
+// views returns six zeroed length-n slices backed by the scratch buffer.
+func (s *upsampleScratch) views(n int) (dur, capAmt, knownAmt, varW, alloc, head []float64) {
+	need := 6 * n
+	if cap(s.buf) < need {
+		s.buf = make([]float64, need)
+	}
+	b := s.buf[:need]
+	for i := range b {
+		b[i] = 0
+	}
+	return b[:n], b[n : 2*n], b[2*n : 3*n], b[3*n : 4*n], b[4*n : 5*n], b[5*n : 6*n]
+}
+
 // upsample distributes each coarse measurement over its timeslices in
 // proportion to estimated demand, never exceeding the smaller of demand and
 // capacity, with the excess over Exact demand load-balanced across Variable
 // demand (§III-D2).
 func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices) error {
 	capUnit := ri.Resource.Capacity
+	scratch := scratchPool.Get().(*upsampleScratch)
+	defer scratchPool.Put(scratch)
 	for _, smp := range ri.Samples.Samples {
 		// Clip the measurement to the analyzed span; consumption outside it
 		// is out of scope and must not be squeezed into in-span slices.
@@ -272,12 +325,10 @@ func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timesl
 			continue
 		}
 		n := last - first
-		// Per-slice overlap durations with this measurement window.
-		dur := make([]float64, n)
-		capAmt := make([]float64, n)   // capacity ceiling, unit·seconds
-		knownAmt := make([]float64, n) // Exact demand, unit·seconds (≤ cap)
-		varW := make([]float64, n)     // variable weight·seconds
-		alloc := make([]float64, n)
+		// Per-slice working buffers: overlap durations with this measurement
+		// window, capacity ceiling / Exact demand / variable weight (all in
+		// unit·seconds), the allocation being built, and headroom scratch.
+		dur, capAmt, knownAmt, varW, alloc, head := scratch.views(n)
 		totalKnown := 0.0
 		for i := 0; i < n; i++ {
 			k := first + i
@@ -324,7 +375,6 @@ func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timesl
 			leftover = waterFill(alloc, leftover, knownAmt, capAmt)
 		}
 		if leftover > epsilon {
-			head := make([]float64, n)
 			for i := range head {
 				head[i] = capAmt[i] - alloc[i]
 			}

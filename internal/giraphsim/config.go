@@ -101,6 +101,13 @@ type Config struct {
 	// for live characterization (stream.Tap) while the engine runs. It is
 	// called synchronously on the engine's goroutine.
 	Tee func(enginelog.Event)
+
+	// Parallelism is the host-side worker count for precomputing the
+	// engine's cost model (per-thread chunk building and receive counts).
+	// The simulation itself stays on the deterministic discrete-event
+	// scheduler, so logs and results are byte-identical for every value.
+	// 0 takes par.Default(); 1 disables host parallelism.
+	Parallelism int
 }
 
 // DefaultConfig returns a configuration calibrated so that message-heavy

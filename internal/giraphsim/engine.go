@@ -3,10 +3,12 @@ package giraphsim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"grade10/internal/cluster"
 	"grade10/internal/enginelog"
 	"grade10/internal/graph"
+	"grade10/internal/par"
 	"grade10/internal/sim"
 	"grade10/internal/vertexprog"
 	"grade10/internal/vtime"
@@ -172,7 +174,11 @@ type dstBytes struct {
 	bytes float64
 }
 
-// superstep runs one BSP superstep across all workers.
+// superstep runs one BSP superstep across all workers. The per-thread cost
+// model (chunk building) is precomputed concurrently on the host before the
+// virtual-time schedule runs; the simulation itself stays on the serial
+// discrete-event scheduler, so the engine log is byte-identical regardless
+// of Config.Parallelism.
 func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.Step) {
 	ssPath := enginelog.JoinIndexed(execPath, "superstep", s)
 	e.log.StartPhase(ssPath, -1)
@@ -185,25 +191,78 @@ func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.
 		activeByWorker[w] = append(activeByWorker[w], v)
 	}
 
+	chunks := e.precomputeChunks(activeByWorker, step)
+
 	globalBarrier := sim.NewBarrier(e.cfg.Workers)
 	latch := sim.NewBarrier(e.cfg.Workers + 1)
 	for w := 0; w < e.cfg.Workers; w++ {
 		w := w
 		e.sched.Spawn(fmt.Sprintf("ss%d-w%d", s, w), func(wp *sim.Proc) {
-			e.workerSuperstep(wp, ssPath, s, w, activeByWorker[w], step, globalBarrier)
+			e.workerSuperstep(wp, ssPath, s, w, chunks[w], globalBarrier)
 			latch.Wait(wp)
 		})
 	}
 	latch.Wait(p)
 	e.log.EndPhase(ssPath)
 
-	// Prepare receive counts for the next superstep: messages sent along the
-	// step's edges arrive at their endpoints.
+	e.updateRecv(step)
+}
+
+// precomputeChunks builds every thread's chunk sequence for one superstep —
+// the data-dependent half of the engine's cost model — in parallel over
+// (worker, thread) pairs. Each job writes only its own chunks[w][t] slot and
+// replicates the exact iteration order of the former in-simulation path, so
+// the produced chunks are identical to a serial build.
+func (e *engine) precomputeChunks(activeByWorker [][]graph.Vertex,
+	step vertexprog.Step) [][][]chunk {
+	threads := e.cfg.ThreadsPerWorker
+	chunks := make([][][]chunk, e.cfg.Workers)
+	for w := range chunks {
+		chunks[w] = make([][]chunk, threads)
+	}
+	par.Do(e.cfg.Workers*threads, e.cfg.Parallelism, func(j int) {
+		w, t := j/threads, j%threads
+		active := activeByWorker[w]
+		// Interleaved assignment approximates Giraph's dynamic partition
+		// scheduling: vertex counts balance; residual imbalance comes from
+		// degree variance.
+		n := 0
+		if len(active) > t {
+			n = (len(active) - t + threads - 1) / threads
+		}
+		mine := make([]graph.Vertex, 0, n)
+		for i := t; i < len(active); i += threads {
+			mine = append(mine, active[i])
+		}
+		list := make([]chunk, 0, (len(mine)+e.cfg.ChunkVertices-1)/e.cfg.ChunkVertices)
+		remoteScratch := make([]float64, e.cfg.Workers)
+		for start := 0; start < len(mine); start += e.cfg.ChunkVertices {
+			end := start + e.cfg.ChunkVertices
+			if end > len(mine) {
+				end = len(mine)
+			}
+			list = append(list, e.buildChunk(remoteScratch, mine[start:end], step, w))
+		}
+		chunks[w][t] = list
+	})
+	return chunks
+}
+
+// updateRecv prepares receive counts for the next superstep: messages sent
+// along the step's edges arrive at their endpoints. Counts are plain integer
+// sums, so accumulating them with atomics over contiguous blocks of the
+// active set yields the same counts as the serial loop.
+func (e *engine) updateRecv(step vertexprog.Step) {
 	for i := range e.recv {
 		e.recv[i] = 0
 	}
-	if !step.Halt {
-		for _, v := range step.Active {
+	if step.Halt {
+		return
+	}
+	active := step.Active
+	workers := par.Workers(e.cfg.Parallelism, len(active))
+	if workers == 1 {
+		for _, v := range active {
 			if step.OutMessages {
 				for _, u := range e.g.OutNeighbors(v) {
 					e.recv[u]++
@@ -215,14 +274,36 @@ func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.
 				}
 			}
 		}
+		return
 	}
+	blockSize := (len(active) + workers - 1) / workers
+	par.Do(workers, workers, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > len(active) {
+			hi = len(active)
+		}
+		for _, v := range active[lo:hi] {
+			if step.OutMessages {
+				for _, u := range e.g.OutNeighbors(v) {
+					atomic.AddInt32(&e.recv[u], 1)
+				}
+			}
+			if step.InMessages {
+				for _, u := range e.g.InNeighbors(v) {
+					atomic.AddInt32(&e.recv[u], 1)
+				}
+			}
+		}
+	})
 }
 
 // workerSuperstep is one worker's share of a superstep: prepare, chunked
 // multi-threaded compute feeding the outgoing queue, concurrent
-// communication, and the global barrier.
+// communication, and the global barrier. thChunks[t] is thread t's
+// precomputed chunk sequence.
 func (e *engine) workerSuperstep(wp *sim.Proc, ssPath string, s, w int,
-	active []graph.Vertex, step vertexprog.Step, globalBarrier *sim.Barrier) {
+	thChunks [][]chunk, globalBarrier *sim.Barrier) {
 	cfg := &e.cfg
 	cpu := e.cl.CPUs[w]
 	wPath := enginelog.JoinIndexed(ssPath, "worker", w)
@@ -270,22 +351,10 @@ func (e *engine) workerSuperstep(wp *sim.Proc, ssPath string, s, w int,
 	threadLatch := sim.NewBarrier(threads + 1)
 	for t := 0; t < threads; t++ {
 		t := t
-		// Interleaved assignment approximates Giraph's dynamic partition
-		// scheduling: vertex counts balance; residual imbalance comes from
-		// degree variance.
-		var mine []graph.Vertex
-		for i := t; i < len(active); i += threads {
-			mine = append(mine, active[i])
-		}
 		e.sched.Spawn(fmt.Sprintf("ss%d-w%d-t%d", s, w, t), func(tp *sim.Proc) {
 			tPath := enginelog.JoinIndexed(compPath, "thread", t)
 			e.log.StartPhase(tPath, -1)
-			for start := 0; start < len(mine); start += cfg.ChunkVertices {
-				end := start + cfg.ChunkVertices
-				if end > len(mine) {
-					end = len(mine)
-				}
-				ch := e.buildChunk(mine[start:end], step, w)
+			for _, ch := range thChunks[t] {
 				e.maybeGC(tp, w, wPath)
 				cpu.Compute(tp, 1, ch.work)
 				e.allocate(w, ch.alloc)
@@ -337,11 +406,15 @@ func (e *engine) workerSuperstep(wp *sim.Proc, ssPath string, s, w int,
 }
 
 // buildChunk computes the cost model for a block of vertices: compute work,
-// heap allocation, and per-destination remote message bytes.
-func (e *engine) buildChunk(vs []graph.Vertex, step vertexprog.Step, w int) chunk {
+// heap allocation, and per-destination remote message bytes. remoteScratch
+// is a caller-owned zeroed array of Workers accumulators (re-zeroed before
+// return); indexing it replaces the former per-chunk map without changing
+// the floating-point accumulation order.
+func (e *engine) buildChunk(remoteScratch []float64, vs []graph.Vertex,
+	step vertexprog.Step, w int) chunk {
 	cfg := &e.cfg
 	ch := chunk{}
-	remote := map[int]float64{}
+	remote := remoteScratch
 	for _, v := range vs {
 		edges := 0
 		if step.OutMessages {
@@ -375,6 +448,7 @@ func (e *engine) buildChunk(vs []graph.Vertex, step vertexprog.Step, w int) chun
 		if b := remote[d]; b > 0 {
 			ch.remote = append(ch.remote, dstBytes{dst: d, bytes: b})
 			ch.remoteSum += b
+			remote[d] = 0
 		}
 	}
 	return ch

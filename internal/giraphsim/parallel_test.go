@@ -1,0 +1,39 @@
+package giraphsim
+
+import (
+	"testing"
+)
+
+// TestParallelPrecomputeLogIdentical is the determinism guard for the
+// host-side superstep precompute: the engine's log, makespan, and results
+// must be byte-identical for every Parallelism value, because only cost-model
+// construction is fanned out — the discrete-event schedule is untouched.
+func TestParallelPrecomputeLogIdentical(t *testing.T) {
+	serialCfg := smallConfig()
+	serialCfg.Parallelism = 1
+	serial := runPR(t, serialCfg, 9)
+	for _, workers := range []int{2, 4, 8} {
+		cfg := smallConfig()
+		cfg.Parallelism = workers
+		par := runPR(t, cfg, 9)
+		if serial.End != par.End {
+			t.Fatalf("parallelism %d: end %v vs serial %v", workers, par.End, serial.End)
+		}
+		if len(serial.Log.Events) != len(par.Log.Events) {
+			t.Fatalf("parallelism %d: %d events vs serial %d",
+				workers, len(par.Log.Events), len(serial.Log.Events))
+		}
+		for i := range serial.Log.Events {
+			if serial.Log.Events[i] != par.Log.Events[i] {
+				t.Fatalf("parallelism %d: event %d differs: %+v vs %+v",
+					workers, i, par.Log.Events[i], serial.Log.Events[i])
+			}
+		}
+		for v := range serial.Values {
+			if serial.Values[v] != par.Values[v] {
+				t.Fatalf("parallelism %d: value[%d] %v vs %v",
+					workers, v, par.Values[v], serial.Values[v])
+			}
+		}
+	}
+}

@@ -27,6 +27,10 @@ type Input struct {
 	// defaults.
 	BottleneckConfig bottleneck.Config
 	IssueConfig      issues.Config
+	// Parallelism is the worker count for the attribution fan-out and the
+	// issue detector's trace replays. Output is identical for every value;
+	// 0 takes par.Default() (GOMAXPROCS unless overridden).
+	Parallelism int
 }
 
 // Output is the full performance profile of one execution.
@@ -72,11 +76,14 @@ func Characterize(in Input) (*Output, error) {
 	}
 
 	slices := core.NewTimeslices(tr.Start, tr.End, in.Timeslice)
-	prof, err := attribution.Attribute(tr, rt, in.Models.Rules, slices)
+	prof, err := attribution.AttributeN(tr, rt, in.Models.Rules, slices, in.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("grade10: attribution: %w", err)
 	}
 	btl := bottleneck.Detect(prof, in.BottleneckConfig)
+	if in.IssueConfig.Parallelism == 0 {
+		in.IssueConfig.Parallelism = in.Parallelism
+	}
 	iss := issues.Analyze(prof, btl, in.IssueConfig)
 
 	return &Output{Trace: tr, Slices: slices, Profile: prof, Bottlenecks: btl, Issues: iss}, nil

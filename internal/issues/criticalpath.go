@@ -24,9 +24,10 @@ type CriticalStep struct {
 // another leaf.
 func CriticalPath(tr *core.ExecutionTrace) []CriticalStep {
 	r := &replay{
-		start: map[*core.Phase]vtime.Time{},
-		end:   map[*core.Phase]vtime.Time{},
-		sync:  map[string]vtime.Time{},
+		start:  map[*core.Phase]vtime.Time{},
+		end:    map[*core.Phase]vtime.Time{},
+		sync:   map[string]vtime.Time{},
+		groups: map[string][]*core.Phase{},
 	}
 	r.index(tr.Root)
 	makespan := r.endOf(tr.Root)

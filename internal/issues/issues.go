@@ -7,6 +7,7 @@ import (
 	"grade10/internal/attribution"
 	"grade10/internal/bottleneck"
 	"grade10/internal/core"
+	"grade10/internal/par"
 	"grade10/internal/vtime"
 )
 
@@ -97,6 +98,11 @@ type Config struct {
 	// UnderutilizationThreshold is the utilization fraction below which an
 	// active slice counts as underutilized. Default 0.5.
 	UnderutilizationThreshold float64
+	// Parallelism is the worker count for the per-candidate replay
+	// simulations (one replay per bottleneck-removal or imbalance
+	// hypothesis). 0 takes par.Default(); 1 runs serially. The report is
+	// identical for every value.
+	Parallelism int
 }
 
 // DefaultConfig returns the default thresholds.
@@ -140,30 +146,52 @@ type Report struct {
 }
 
 // Analyze runs all §III-F detectors: per-resource bottleneck removal,
-// per-type imbalance, and straggler detection.
+// per-type imbalance, and straggler detection. The candidate-issue replays
+// are independent of each other — each perturbs its own Durations copy and
+// re-simulates the trace — so they run on cfg.Parallelism workers; results
+// land in a pre-sized slice indexed by candidate and are filtered in order,
+// keeping the report identical to a serial run.
 func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Report {
 	cfg.fill()
 	tr := prof.Trace
+	leaves := tr.Leaves()
 	rep := &Report{Original: Replay(tr, nil)}
 
-	for _, res := range bottleneckResources(prof, btl) {
-		durs := removeBottleneck(prof, btl, res, cfg)
-		opt := Replay(tr, durs)
-		issue := Issue{Kind: BottleneckImpact, Resource: res,
-			Original: rep.Original, Optimistic: opt,
-			Impact: impact(rep.Original, opt)}
-		if issue.Impact >= cfg.MinImpact {
-			rep.Issues = append(rep.Issues, issue)
-		}
+	groups := Groups(tr)
+	resources := bottleneckResources(prof, btl)
+	typePaths := groupTypePaths(groups)
+
+	type candidate struct {
+		kind IssueKind
+		name string // resource or type path
+	}
+	cands := make([]candidate, 0, len(resources)+len(typePaths))
+	for _, res := range resources {
+		cands = append(cands, candidate{BottleneckImpact, res})
+	}
+	for _, tp := range typePaths {
+		cands = append(cands, candidate{ImbalanceImpact, tp})
 	}
 
-	groups := Groups(tr)
-	for _, tp := range groupTypePaths(groups) {
-		durs := balanceType(groups, tp)
-		opt := Replay(tr, durs)
-		issue := Issue{Kind: ImbalanceImpact, PhaseType: tp,
-			Original: rep.Original, Optimistic: opt,
-			Impact: impact(rep.Original, opt)}
+	results := make([]Issue, len(cands))
+	par.Do(len(cands), cfg.Parallelism, func(i int) {
+		c := cands[i]
+		issue := Issue{Kind: c.kind, Original: rep.Original}
+		var durs Durations
+		switch c.kind {
+		case BottleneckImpact:
+			issue.Resource = c.name
+			durs = removeBottleneck(prof, btl, leaves, c.name, cfg)
+		case ImbalanceImpact:
+			issue.PhaseType = c.name
+			durs = balanceType(groups, c.name)
+		}
+		issue.Optimistic = Replay(tr, durs)
+		issue.Impact = impact(rep.Original, issue.Optimistic)
+		results[i] = issue
+	})
+	rep.Issues = make([]Issue, 0, len(results))
+	for _, issue := range results {
 		if issue.Impact >= cfg.MinImpact {
 			rep.Issues = append(rep.Issues, issue)
 		}
@@ -209,10 +237,10 @@ func bottleneckResources(prof *attribution.Profile, btl *bottleneck.Report) []st
 // resource allows (§III-F, "how much shorter a phase could become until
 // another resource becomes bottlenecked").
 func removeBottleneck(prof *attribution.Profile, btl *bottleneck.Report,
-	res string, cfg Config) Durations {
+	leaves []*core.Phase, res string, cfg Config) Durations {
 	durs := Durations{}
 	slices := prof.Slices
-	for _, leaf := range prof.Trace.Leaves() {
+	for _, leaf := range leaves {
 		newDur := Intrinsic(leaf)
 		// Blocking bottlenecks on res disappear entirely — including stalls
 		// inherited from ancestors (a GC pause logged on the worker phase

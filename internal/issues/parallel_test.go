@@ -1,0 +1,50 @@
+package issues
+
+import (
+	"reflect"
+	"testing"
+
+	"grade10/internal/bottleneck"
+)
+
+// TestAnalyzeParallelBitIdentical is the determinism guard for the candidate
+// fan-out: the issue report (ordering, makespans, impacts) must be identical
+// for every Parallelism value, because each candidate's replay is independent
+// and the report is assembled in candidate order.
+func TestAnalyzeParallelBitIdentical(t *testing.T) {
+	tr := bspTrace(t, [][][]int64{
+		{{40, 10}, {10, 10}},
+		{{10, 25}, {10, 10}},
+	})
+	prof := profileFor(t, tr)
+	btl := bottleneck.Detect(prof, bottleneck.DefaultConfig())
+	serial := Analyze(prof, btl, Config{MinImpact: 0.001, Parallelism: 1})
+	if len(serial.Issues) == 0 {
+		t.Fatal("fixture produced no issues; the guard would be vacuous")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		parallel := Analyze(prof, btl, Config{MinImpact: 0.001, Parallelism: workers})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallelism %d: report differs from serial\nserial:   %+v\nparallel: %+v",
+				workers, serial.Issues, parallel.Issues)
+		}
+	}
+}
+
+// TestReplayPoolReuse exercises repeated pooled replays over the same trace:
+// the memoization maps are recycled, so results must stay stable across
+// reuse and interleaved different-trace replays.
+func TestReplayPoolReuse(t *testing.T) {
+	trA := bspTrace(t, [][][]int64{{{20, 40}, {30, 10}}})
+	trB := bspTrace(t, [][][]int64{{{5}}, {{7}}})
+	wantA := Replay(trA, nil)
+	wantB := Replay(trB, nil)
+	for i := 0; i < 10; i++ {
+		if got := Replay(trA, nil); got != wantA {
+			t.Fatalf("iteration %d: trace A makespan %v, want %v", i, got, wantA)
+		}
+		if got := Replay(trB, nil); got != wantB {
+			t.Fatalf("iteration %d: trace B makespan %v, want %v", i, got, wantB)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package issues
 
 import (
 	"sort"
+	"sync"
 
 	"grade10/internal/core"
 	"grade10/internal/vtime"
@@ -34,14 +35,35 @@ type Durations map[*core.Phase]vtime.Duration
 // It returns the simulated makespan (root end, with the root starting at
 // zero).
 func Replay(tr *core.ExecutionTrace, durs Durations) vtime.Duration {
-	r := &replay{
-		durs:  durs,
-		start: map[*core.Phase]vtime.Time{},
-		end:   map[*core.Phase]vtime.Time{},
-		sync:  map[string]vtime.Time{},
-	}
+	r := replayPool.Get().(*replay)
+	r.durs = durs
 	r.index(tr.Root)
-	return vtime.Duration(r.endOf(tr.Root))
+	makespan := vtime.Duration(r.endOf(tr.Root))
+	r.reset()
+	replayPool.Put(r)
+	return makespan
+}
+
+// replayPool recycles the replay's memoization maps: the issue detector runs
+// one replay per candidate issue (concurrently), and cleared maps keep their
+// buckets, so pooled replays stay allocation-free after the first few runs
+// over a trace of a given size.
+var replayPool = sync.Pool{New: func() any {
+	return &replay{
+		start:  map[*core.Phase]vtime.Time{},
+		end:    map[*core.Phase]vtime.Time{},
+		sync:   map[string]vtime.Time{},
+		groups: map[string][]*core.Phase{},
+	}
+}}
+
+// reset clears the replay for reuse, dropping references into the trace.
+func (r *replay) reset() {
+	r.durs = nil
+	clear(r.start)
+	clear(r.end)
+	clear(r.sync)
+	clear(r.groups)
 }
 
 type replay struct {
@@ -55,7 +77,6 @@ type replay struct {
 
 // index collects sync groups ahead of scheduling.
 func (r *replay) index(root *core.Phase) {
-	r.groups = map[string][]*core.Phase{}
 	root.Walk(func(p *core.Phase) {
 		if p.Type != nil && p.Type.SyncGroup {
 			key := syncKey(p)

@@ -32,6 +32,16 @@ type Series struct {
 	points []Point
 }
 
+// NewSeries returns an empty series with room for capacity steps, for
+// callers that know how many points they are about to Set (e.g. attribution
+// emitting one step per timeslice) and want to avoid append growth.
+func NewSeries(capacity int) *Series {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Series{points: make([]Point, 0, capacity)}
+}
+
 // Set appends a step: the series takes value v from instant t onward.
 // Set panics if t precedes the last recorded instant, since meters only move
 // forward in virtual time.

@@ -86,6 +86,13 @@ type Config struct {
 	// for live characterization (stream.Tap) while the engine runs. It is
 	// called synchronously on the engine's goroutine.
 	Tee func(enginelog.Event)
+
+	// Parallelism is the host-side worker count for precomputing each
+	// iteration's plan (participating edges and per-thread chunk work). The
+	// simulation itself stays on the deterministic discrete-event scheduler,
+	// so logs and results are byte-identical for every value. 0 takes
+	// par.Default(); 1 disables host parallelism.
+	Parallelism int
 }
 
 // DefaultConfig returns a configuration calibrated so compute dominates and

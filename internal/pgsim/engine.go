@@ -7,6 +7,7 @@ import (
 	"grade10/internal/cluster"
 	"grade10/internal/enginelog"
 	"grade10/internal/graph"
+	"grade10/internal/par"
 	"grade10/internal/sim"
 	"grade10/internal/vertexprog"
 	"grade10/internal/vtime"
@@ -139,6 +140,10 @@ type iterPlan struct {
 	gatherEdges [][]int64
 	// applyMasters[w] lists active master vertices on worker w.
 	applyMasters [][]graph.Vertex
+	// gatherWork/applyWork/scatterWork[w][t] list the per-chunk compute
+	// work of worker w's thread t in the respective minor-step, using the
+	// runThreads thread/chunk split.
+	gatherWork, applyWork, scatterWork [][][]float64
 	// exchange[w][d] is the mirror→master byte volume from w to d;
 	// sync[w][d] the master→mirror volume.
 	exchange, syncBytes [][]float64
@@ -147,11 +152,19 @@ type iterPlan struct {
 	bugFactor []float64
 }
 
+// plan precomputes one iteration's cost model. The per-worker edge filters
+// and per-thread chunk work sums are independent, so they run on
+// Config.Parallelism host workers — each job writes only its own slot, and
+// within a job the accumulation order matches the former serial loops, so
+// the plan (and therefore the simulated schedule) is identical.
 func (e *engine) plan(step vertexprog.Step) *iterPlan {
 	W := e.cfg.Workers
 	pl := &iterPlan{
 		gatherEdges:  make([][]int64, W),
 		applyMasters: make([][]graph.Vertex, W),
+		gatherWork:   make([][][]float64, W),
+		applyWork:    make([][][]float64, W),
+		scatterWork:  make([][][]float64, W),
 		exchange:     make2D(W),
 		syncBytes:    make2D(W),
 		bugThread:    make([]int, W),
@@ -165,16 +178,20 @@ func (e *engine) plan(step vertexprog.Step) *iterPlan {
 	}
 
 	// Participating edges per worker: any edge incident to an active vertex.
-	for w := 0; w < W; w++ {
-		for _, idx := range e.vc.PartEdges(w) {
+	par.Do(W, e.cfg.Parallelism, func(w int) {
+		partEdges := e.vc.PartEdges(w)
+		mine := make([]int64, 0, len(partEdges))
+		for _, idx := range partEdges {
 			src, dst := e.g.EdgeSource(idx), e.g.EdgeDst(idx)
 			if e.active[src] || e.active[dst] {
-				pl.gatherEdges[w] = append(pl.gatherEdges[w], idx)
+				mine = append(mine, idx)
 			}
 		}
-	}
+		pl.gatherEdges[w] = mine
+	})
 
-	// Masters and replica traffic of active vertices.
+	// Masters and replica traffic of active vertices (serial: the RNG-free
+	// shared exchange matrices and stats make this cheap but order-coupled).
 	for _, v := range step.Active {
 		m := e.vc.Master(v)
 		pl.applyMasters[m] = append(pl.applyMasters[m], v)
@@ -187,6 +204,32 @@ func (e *engine) plan(step vertexprog.Step) *iterPlan {
 			e.stats.MessagesSent += 2
 		})
 	}
+
+	// Per-thread chunk work for the three compute minor-steps, one job per
+	// (worker, minor-step).
+	cfg := &e.cfg
+	par.Do(3*W, e.cfg.Parallelism, func(j int) {
+		w, kind := j/3, j%3
+		switch kind {
+		case 0:
+			edges := pl.gatherEdges[w]
+			pl.gatherWork[w] = e.chunkWork(len(edges), cfg.ChunkEdges, func(i int) float64 {
+				idx := edges[i]
+				src, dst := e.g.EdgeSource(idx), e.g.EdgeDst(idx)
+				return cfg.CostPerEdgeGather * 0.5 * (step.WeightOf(src) + step.WeightOf(dst))
+			})
+		case 1:
+			masters := pl.applyMasters[w]
+			pl.applyWork[w] = e.chunkWork(len(masters), cfg.ChunkEdges, func(i int) float64 {
+				return cfg.CostPerVertexApply * step.WeightOf(masters[i])
+			})
+		case 2:
+			edges := pl.gatherEdges[w]
+			pl.scatterWork[w] = e.chunkWork(len(edges), cfg.ChunkEdges, func(i int) float64 {
+				return cfg.CostPerEdgeScatter
+			})
+		}
+	})
 
 	// Sync-bug injection: a seeded subset of (iteration, worker) gather
 	// steps get one straggling thread.
@@ -202,6 +245,43 @@ func (e *engine) plan(step vertexprog.Step) *iterPlan {
 		}
 	}
 	return pl
+}
+
+// chunkWork splits n items into ThreadsPerWorker contiguous blocks (the
+// runThreads split) and sums cost(i) per ChunkEdges-sized quantum, in item
+// order — the same floating-point accumulation the threads used to perform
+// inside the simulation.
+func (e *engine) chunkWork(n, chunkSize int, cost func(i int) float64) [][]float64 {
+	threads := e.cfg.ThreadsPerWorker
+	per := (n + threads - 1) / threads
+	out := make([][]float64, threads)
+	for t := 0; t < threads; t++ {
+		lo := t * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		var works []float64
+		if lo < hi {
+			works = make([]float64, 0, (hi-lo+chunkSize-1)/chunkSize)
+		}
+		for start := lo; start < hi; start += chunkSize {
+			end := start + chunkSize
+			if end > hi {
+				end = hi
+			}
+			work := 0.0
+			for i := start; i < end; i++ {
+				work += cost(i)
+			}
+			works = append(works, work)
+		}
+		out[t] = works
+	}
+	return out
 }
 
 func make2D(n int) [][]float64 {
@@ -238,7 +318,6 @@ func (e *engine) iteration(p *sim.Proc, execPath string, s int, step vertexprog.
 // workerIteration runs one worker's minor-steps.
 func (e *engine) workerIteration(wp *sim.Proc, itPath string, s, w int,
 	step vertexprog.Step, pl *iterPlan, gatherXB, syncXB, iterEndB *sim.Barrier) {
-	cfg := &e.cfg
 	wPath := enginelog.JoinIndexed(itPath, "worker", w)
 	e.log.StartPhase(wPath, w)
 
@@ -246,37 +325,22 @@ func (e *engine) workerIteration(wp *sim.Proc, itPath string, s, w int,
 	// of gathering over an edge scales with the program's vertex weights
 	// (e.g. CDLP's label-histogram size), which is what makes gather so
 	// imbalanced on community graphs.
-	gatherEdges := pl.gatherEdges[w]
-	e.threadedEdgePhase(wp, wPath, "gather", s, w, gatherEdges,
-		func(idx int64) float64 {
-			src, dst := e.g.EdgeSource(idx), e.g.EdgeDst(idx)
-			return cfg.CostPerEdgeGather * 0.5 * (step.WeightOf(src) + step.WeightOf(dst))
-		}, pl.bugThread[w], pl.bugFactor[w])
+	e.threadedPhase(wp, wPath, "gather", s, w, pl.gatherWork[w],
+		pl.bugThread[w], pl.bugFactor[w])
 
 	// Gather exchange: mirrors ship partial accumulators to masters, then
 	// all workers synchronize (masters need every partial before apply).
 	e.exchangePhase(wp, wPath, "exchange", w, pl.exchange, gatherXB)
 
 	// Apply: threads over active masters, weighted per-vertex cost.
-	applyPath := enginelog.Join(wPath, "apply")
-	e.log.StartPhase(applyPath, -1)
-	masters := pl.applyMasters[w]
-	e.runThreads(wp, applyPath, s, w, len(masters), func(lo, hi int) float64 {
-		work := 0.0
-		for _, v := range masters[lo:hi] {
-			work += cfg.CostPerVertexApply * step.WeightOf(v)
-		}
-		return work
-	}, -1, 0)
-	e.log.EndPhase(applyPath)
+	e.threadedPhase(wp, wPath, "apply", s, w, pl.applyWork[w], -1, 0)
 
 	// Sync exchange: masters broadcast updated values to mirrors.
 	e.exchangePhase(wp, wPath, "sync", w, pl.syncBytes, syncXB)
 
 	// Scatter: threads over participating edges again, cheaper per edge and
 	// weight-independent.
-	e.threadedEdgePhase(wp, wPath, "scatter", s, w, pl.gatherEdges[w],
-		func(int64) float64 { return cfg.CostPerEdgeScatter }, -1, 0)
+	e.threadedPhase(wp, wPath, "scatter", s, w, pl.scatterWork[w], -1, 0)
 
 	// Iteration barrier.
 	bPath := enginelog.Join(wPath, "barrier")
@@ -290,52 +354,32 @@ func (e *engine) workerIteration(wp *sim.Proc, itPath string, s, w int,
 	e.log.EndPhase(wPath)
 }
 
-// threadedEdgePhase runs an edge-parallel minor-step (gather/scatter) with
-// ThreadsPerWorker threads over contiguous edge blocks; edgeCost gives the
-// per-edge cost. bugThread (if ≥ 0) has its work multiplied by bugFactor,
-// modeling the late-message-stream straggler of §IV-D.
-func (e *engine) threadedEdgePhase(wp *sim.Proc, wPath, name string, s, w int,
-	edges []int64, edgeCost func(idx int64) float64, bugThread int, bugFactor float64) {
+// threadedPhase runs a thread-parallel minor-step (gather/apply/scatter)
+// from its precomputed per-thread chunk work. bugThread (if ≥ 0) has its
+// work multiplied by bugFactor, modeling the late-message-stream straggler
+// of §IV-D.
+func (e *engine) threadedPhase(wp *sim.Proc, wPath, name string, s, w int,
+	thWork [][]float64, bugThread int, bugFactor float64) {
 	path := enginelog.Join(wPath, name)
 	e.log.StartPhase(path, -1)
-	e.runThreads(wp, path, s, w, len(edges), func(lo, hi int) float64 {
-		work := 0.0
-		for _, idx := range edges[lo:hi] {
-			work += edgeCost(idx)
-		}
-		return work
-	}, bugThread, bugFactor)
+	e.runThreads(wp, path, s, w, thWork, bugThread, bugFactor)
 	e.log.EndPhase(path)
 }
 
-// runThreads splits n items into ThreadsPerWorker contiguous blocks and runs
-// one thread phase per block, computing in ChunkEdges quanta.
-func (e *engine) runThreads(wp *sim.Proc, parent string, s, w, n int,
-	workOf func(lo, hi int) float64, bugThread int, bugFactor float64) {
-	cfg := &e.cfg
+// runThreads runs one thread phase per precomputed chunk-work block
+// (thWork[t] is thread t's ChunkEdges-quantum work sequence, from
+// plan/chunkWork).
+func (e *engine) runThreads(wp *sim.Proc, parent string, s, w int,
+	thWork [][]float64, bugThread int, bugFactor float64) {
 	cpu := e.cl.CPUs[w]
-	threads := cfg.ThreadsPerWorker
+	threads := e.cfg.ThreadsPerWorker
 	latch := sim.NewBarrier(threads + 1)
-	per := (n + threads - 1) / threads
 	for t := 0; t < threads; t++ {
 		t := t
-		lo := t * per
-		hi := lo + per
-		if lo > n {
-			lo = n
-		}
-		if hi > n {
-			hi = n
-		}
 		e.sched.Spawn(fmt.Sprintf("%s-it%d-w%d-t%d", parent, s, w, t), func(tp *sim.Proc) {
 			tPath := enginelog.JoinIndexed(parent, "thread", t)
 			e.log.StartPhase(tPath, -1)
-			for start := lo; start < hi; start += cfg.ChunkEdges {
-				end := start + cfg.ChunkEdges
-				if end > hi {
-					end = hi
-				}
-				work := workOf(start, end)
+			for _, work := range thWork[t] {
 				if t == bugThread {
 					work *= bugFactor
 				}

@@ -1,0 +1,53 @@
+package pgsim
+
+import (
+	"testing"
+
+	"grade10/internal/vertexprog"
+)
+
+// TestParallelPlanLogIdentical is the determinism guard for the host-side
+// iteration planner: the engine's log, makespan, and results must be
+// byte-identical for every Parallelism value — including with the injected
+// synchronization bug, whose RNG draws stay on the serial path.
+func TestParallelPlanLogIdentical(t *testing.T) {
+	g := communityGraph()
+	for _, bugged := range []bool{false, true} {
+		serialCfg := smallConfig()
+		serialCfg.EnableSyncBug = bugged
+		serialCfg.Parallelism = 1
+		serial, err := Run(vertexprog.NewCDLP(g, 4), serialCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			cfg := smallConfig()
+			cfg.EnableSyncBug = bugged
+			cfg.Parallelism = workers
+			par, err := Run(vertexprog.NewCDLP(g, 4), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.End != par.End {
+				t.Fatalf("bug=%v parallelism %d: end %v vs serial %v",
+					bugged, workers, par.End, serial.End)
+			}
+			if len(serial.Log.Events) != len(par.Log.Events) {
+				t.Fatalf("bug=%v parallelism %d: %d events vs serial %d",
+					bugged, workers, len(par.Log.Events), len(serial.Log.Events))
+			}
+			for i := range serial.Log.Events {
+				if serial.Log.Events[i] != par.Log.Events[i] {
+					t.Fatalf("bug=%v parallelism %d: event %d differs: %+v vs %+v",
+						bugged, workers, i, par.Log.Events[i], serial.Log.Events[i])
+				}
+			}
+			for v := range serial.Values {
+				if serial.Values[v] != par.Values[v] {
+					t.Fatalf("bug=%v parallelism %d: value[%d] %v vs %v",
+						bugged, workers, v, par.Values[v], serial.Values[v])
+				}
+			}
+		}
+	}
+}

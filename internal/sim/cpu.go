@@ -32,7 +32,11 @@ type CPU struct {
 	// Util is the recorded utilization in [0, 1] as a fraction of Cores.
 	Util metrics.Series
 
-	jobs       map[*cpuJob]struct{}
+	// jobs is insertion-ordered: completion wakeups and rate summations
+	// iterate it in Compute-call order, keeping same-instant event ordering
+	// and floating-point accumulation deterministic (a map here would leak
+	// runtime-random iteration order into the simulated schedule).
+	jobs       []*cpuJob
 	lastUpdate vtime.Time
 	completion *Event
 	pauseDepth int
@@ -51,7 +55,7 @@ func NewCPU(s *Scheduler, cores float64) *CPU {
 	if cores <= 0 {
 		panic("sim: CPU needs positive core count")
 	}
-	return &CPU{sched: s, Cores: cores, jobs: make(map[*cpuJob]struct{})}
+	return &CPU{sched: s, Cores: cores}
 }
 
 // Compute runs `work` core-seconds for process p at a demand of `demand`
@@ -72,7 +76,7 @@ func (c *CPU) compute(p *Proc, demand, work float64, exempt bool) {
 		return
 	}
 	j := &cpuJob{proc: p, demand: demand, remaining: work, exempt: exempt}
-	c.jobs[j] = struct{}{}
+	c.jobs = append(c.jobs, j)
 	c.rebalance()
 	p.park() // woken by the completion event once remaining hits zero
 }
@@ -104,7 +108,7 @@ func (c *CPU) Paused() bool { return c.pauseDepth > 0 }
 // eligible to run.
 func (c *CPU) ActiveDemand() float64 {
 	total := 0.0
-	for j := range c.jobs {
+	for _, j := range c.jobs {
 		if c.eligible(j) {
 			total += j.demand
 		}
@@ -122,7 +126,7 @@ func (c *CPU) advance() {
 	now := c.sched.Now()
 	elapsed := now.Sub(c.lastUpdate).Seconds()
 	if elapsed > 0 {
-		for j := range c.jobs {
+		for _, j := range c.jobs {
 			j.remaining -= j.rate * elapsed
 			if j.remaining < 0 {
 				j.remaining = 0
@@ -138,21 +142,28 @@ func (c *CPU) rebalance() {
 	c.advance()
 
 	// Complete jobs whose work is done; their processes resume at this
-	// instant. Collect first to avoid mutating while iterating.
+	// instant, woken in Compute-call order so same-time completions keep a
+	// deterministic event sequence.
 	var finished []*cpuJob
-	for j := range c.jobs {
+	survivors := c.jobs[:0]
+	for _, j := range c.jobs {
 		if j.remaining <= workEpsilon {
 			finished = append(finished, j)
+		} else {
+			survivors = append(survivors, j)
 		}
 	}
+	for i := len(survivors); i < len(c.jobs); i++ {
+		c.jobs[i] = nil
+	}
+	c.jobs = survivors
 	for _, j := range finished {
-		delete(c.jobs, j)
 		j.proc.wake()
 	}
 
 	// Proportional-share rates for the survivors.
 	totalDemand := 0.0
-	for j := range c.jobs {
+	for _, j := range c.jobs {
 		if c.eligible(j) {
 			totalDemand += j.demand
 		}
@@ -164,7 +175,7 @@ func (c *CPU) rebalance() {
 	used := 0.0
 	next := vtime.Infinity
 	now := c.sched.Now()
-	for j := range c.jobs {
+	for _, j := range c.jobs {
 		if c.eligible(j) {
 			j.rate = j.demand * share
 			used += j.rate

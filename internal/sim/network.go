@@ -25,7 +25,11 @@ type Network struct {
 	sched *Scheduler
 	nodes []*nic
 
-	flows      map[*flow]struct{}
+	// flows is insertion-ordered: completion callbacks and utilization
+	// summations iterate it in Transfer-call order, keeping same-instant
+	// event ordering and floating-point accumulation deterministic (a map
+	// here would leak runtime-random iteration order into the schedule).
+	flows      []*flow
 	lastUpdate vtime.Time
 	completion *Event
 }
@@ -51,7 +55,7 @@ func NewNetwork(s *Scheduler, n int, bandwidth float64) *Network {
 	if n <= 0 || bandwidth <= 0 {
 		panic("sim: network needs machines and positive bandwidth")
 	}
-	net := &Network{sched: s, flows: make(map[*flow]struct{})}
+	net := &Network{sched: s}
 	for i := 0; i < n; i++ {
 		net.nodes = append(net.nodes, &nic{egressCap: bandwidth, ingressCap: bandwidth})
 	}
@@ -101,7 +105,7 @@ func (n *Network) start(from, to int, bytes float64, onDone func()) {
 		panic(fmt.Sprintf("sim: transfer between unknown machines %d→%d", from, to))
 	}
 	f := &flow{from: from, to: to, remaining: bytes, onDone: onDone}
-	n.flows[f] = struct{}{}
+	n.flows = append(n.flows, f)
 	n.rebalance()
 }
 
@@ -109,7 +113,7 @@ func (n *Network) advance() {
 	now := n.sched.Now()
 	elapsed := now.Sub(n.lastUpdate).Seconds()
 	if elapsed > 0 {
-		for f := range n.flows {
+		for _, f := range n.flows {
 			f.remaining -= f.rate * elapsed
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -122,20 +126,27 @@ func (n *Network) advance() {
 func (n *Network) rebalance() {
 	n.advance()
 
+	// Complete finished flows; their callbacks run at the end of rebalance
+	// in Transfer-call order so same-time completions keep a deterministic
+	// event sequence.
 	var finished []*flow
-	for f := range n.flows {
+	survivors := n.flows[:0]
+	for _, f := range n.flows {
 		if f.remaining <= bytesEpsilon {
 			finished = append(finished, f)
+		} else {
+			survivors = append(survivors, f)
 		}
 	}
-	for _, f := range finished {
-		delete(n.flows, f)
+	for i := len(survivors); i < len(n.flows); i++ {
+		n.flows[i] = nil
 	}
+	n.flows = survivors
 
 	// Equal-share rates.
 	egCount := make([]int, len(n.nodes))
 	inCount := make([]int, len(n.nodes))
-	for f := range n.flows {
+	for _, f := range n.flows {
 		egCount[f.from]++
 		inCount[f.to]++
 	}
@@ -143,7 +154,7 @@ func (n *Network) rebalance() {
 	inUsed := make([]float64, len(n.nodes))
 	now := n.sched.Now()
 	next := vtime.Infinity
-	for f := range n.flows {
+	for _, f := range n.flows {
 		eg := n.nodes[f.from].egressCap / float64(egCount[f.from])
 		in := n.nodes[f.to].ingressCap / float64(inCount[f.to])
 		f.rate = eg

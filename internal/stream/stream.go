@@ -71,6 +71,10 @@ type Config struct {
 	// Bottleneck and Issues tune detection; zero values take defaults.
 	Bottleneck bottleneck.Config
 	Issues     issues.Config
+	// Parallelism is the worker count for per-window attribution and, in
+	// retain mode, the final batch pipeline. Results are identical for every
+	// value; 0 takes par.Default().
+	Parallelism int
 }
 
 func (c *Config) fill() error {
@@ -591,7 +595,7 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 	}
 
 	tr := &core.ExecutionTrace{Root: e.root, Start: w0, End: w1}
-	prof, err := attribution.AttributeWindow(tr, leaves, rt, e.cfg.Models.Rules, win)
+	prof, err := attribution.AttributeWindowN(tr, leaves, rt, e.cfg.Models.Rules, win, e.cfg.Parallelism)
 	for _, ph := range reopened {
 		ph.End = -1
 	}
@@ -709,6 +713,7 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 		Timeslice:        e.cfg.Timeslice,
 		BottleneckConfig: e.cfg.Bottleneck,
 		IssueConfig:      e.cfg.Issues,
+		Parallelism:      e.cfg.Parallelism,
 	})
 	return e.finalOut, e.finalErr
 }
