@@ -12,17 +12,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"grade10/internal/experiments"
+	"grade10/internal/obs"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, or all")
-		csvOut = flag.String("csv", "", "fig3: also write the series CSV to this file")
+		exp       = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, or all")
+		csvOut    = flag.String("csv", "", "fig3: also write the series CSV to this file")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "experiments", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -30,7 +41,7 @@ func main() {
 		}
 		fmt.Printf("==== %s ====\n", name)
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			logger.Error(name + ": " + err.Error())
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -10,10 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"grade10/internal/graph"
+	"grade10/internal/obs"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -26,8 +30,15 @@ func main() {
 		interFrac   = flag.Float64("interfraction", 0.05, "community: cross-community edge fraction")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		out         = flag.String("out", "", "output file (default stdout)")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "gengraph", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(2)
+	}
 
 	var g *graph.Graph
 	switch *typ {
@@ -43,7 +54,7 @@ func main() {
 	case "er":
 		g = graph.ErdosRenyi(*vertices, *vertices**edgeFactor, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
+		logger.Error(fmt.Sprintf("unknown type %q", *typ))
 		os.Exit(2)
 	}
 
@@ -51,15 +62,18 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := graph.WriteEdgeList(w, g); err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "gengraph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	logger.Info("generated graph", "vertices", g.NumVertices(), "edges", g.NumEdges())
+}
+
+func fail(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
 }

@@ -10,19 +10,24 @@
 //	grade10 -run run/ -timeslice 20ms -untuned -csv consumption.csv
 //	grade10 -run run/ -dump-models giraph.json
 //	grade10 -run run/ -models custom.json
+//	grade10 -run run/ -trace trace.json   # open in ui.perfetto.dev
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"grade10/internal/enginelog"
 	"grade10/internal/grade10"
+	"grade10/internal/obs"
 	"grade10/internal/report"
 	"grade10/internal/rundir"
 	"grade10/internal/vtime"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -33,10 +38,18 @@ func main() {
 		modelsIn  = flag.String("models", "", "load models from this JSON file instead of the built-ins")
 		modelsOut = flag.String("dump-models", "", "write the models used to this JSON file")
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); output is identical for every value")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (pipeline self-trace + job profile) to this path")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "grade10", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
+		os.Exit(2)
+	}
 	if *runDir == "" {
-		fmt.Fprintln(os.Stderr, "grade10: -run is required")
+		logger.Error("-run is required")
 		os.Exit(2)
 	}
 
@@ -59,7 +72,12 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "grade10: wrote %s\n", *modelsOut)
+		logger.Info("wrote " + *modelsOut)
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
 	}
 
 	ts := grade10.DefaultTimeslice
@@ -72,6 +90,7 @@ func main() {
 		Models:      models,
 		Timeslice:   ts,
 		Parallelism: *parallel,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		fail(err)
@@ -80,6 +99,7 @@ func main() {
 	if err := report.WriteAll(os.Stdout, out); err != nil {
 		fail(err)
 	}
+	writeParseFooter(os.Stdout, run.LogStats)
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -89,7 +109,31 @@ func main() {
 		if err := report.WriteConsumptionCSV(f, out); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "grade10: wrote %s\n", *csvOut)
+		logger.Info("wrote " + *csvOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := report.WriteTraceEvents(f, out, tracer); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		logger.Info("wrote trace", "path", *traceOut, "spans", len(tracer.Spans()))
+	}
+}
+
+// writeParseFooter appends the log-robustness summary (enginelog.ParseStats)
+// to the report. It lives here rather than in report.WriteAll so the HTTP
+// /report endpoint stays byte-identical to the batch report body.
+func writeParseFooter(w *os.File, st enginelog.ParseStats) {
+	fmt.Fprintf(w, "\nlog parse: %d lines, %d events, %d malformed skipped, %d truncated\n",
+		st.Lines, st.Events, st.Skipped, st.Truncated)
+	if st.Skipped > 0 && st.FirstError != "" {
+		fmt.Fprintf(w, "  first parse error: %s\n", st.FirstError)
 	}
 }
 
@@ -134,6 +178,6 @@ func resolveModels(run *rundir.Run, modelsIn string, untuned bool) (grade10.Mode
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
@@ -20,19 +21,29 @@ import (
 	"grade10/internal/grade10"
 	"grade10/internal/infer"
 	"grade10/internal/metrics"
+	"grade10/internal/obs"
 	"grade10/internal/rundir"
 	"grade10/internal/vtime"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
 		runDir    = flag.String("run", "", "run directory from cmd/runsim (required)")
 		timeslice = flag.Duration("timeslice", 0, "fitting granularity (default: the monitoring interval)")
 		out       = flag.String("out", "", "write models JSON with the inferred rules to this file")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "infer", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "infer: %v\n", err)
+		os.Exit(2)
+	}
 	if *runDir == "" {
-		fmt.Fprintln(os.Stderr, "infer: -run is required")
+		logger.Error("-run is required")
 		os.Exit(2)
 	}
 
@@ -106,8 +117,8 @@ func main() {
 		if err := grade10.SaveModels(f, models); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "infer: wrote %s (analyze with: grade10 -run %s -models %s)\n",
-			*out, *runDir, *out)
+		logger.Info(fmt.Sprintf("wrote %s (analyze with: grade10 -run %s -models %s)",
+			*out, *runDir, *out))
 	}
 }
 
@@ -133,6 +144,6 @@ func builtinModels(run *rundir.Run) (grade10.Models, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "infer: %v\n", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -8,16 +8,21 @@
 //	runsim -engine giraph -algorithm pagerank -graph rmat.el -out run/
 //	runsim -engine powergraph -algorithm cdlp -dataset datagen -bug -out run/
 //	runsim -engine giraph -algorithm pagerank -out run/ -serve :7070 -linger 30s
+//	runsim -engine giraph -algorithm pagerank -out run/ -trace trace.json
 //
 // With -serve, a live characterization server (the same endpoints as
 // cmd/serve) runs during the simulation, fed in-process through a tap on the
-// engine's logger; -linger keeps it up after the run for inspection.
+// engine's logger; -linger keeps it up after the run for inspection. With
+// -trace, the simulator's self-trace (supersteps/iterations with their
+// virtual-time windows, plus any live-analysis stages) is written as a
+// Chrome trace-event file loadable in Perfetto.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -27,12 +32,16 @@ import (
 	"grade10/internal/giraphsim"
 	"grade10/internal/grade10"
 	"grade10/internal/graph"
+	"grade10/internal/obs"
 	"grade10/internal/pgsim"
+	"grade10/internal/report"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
 	"grade10/internal/vtime"
 	"grade10/internal/workload"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -50,11 +59,24 @@ func main() {
 		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
 		parallel  = flag.Int("parallelism", 0, "host-side precompute/analysis worker count (0 = GOMAXPROCS); logs and results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "with -serve: expose net/http/pprof under /debug/pprof/")
+		traceOut  = flag.String("trace", "", "write the simulator/analysis self-trace as Chrome trace-event JSON to this path")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "runsim: -out is required")
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "runsim", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runsim: %v\n", err)
 		os.Exit(2)
+	}
+	if *out == "" {
+		logger.Error("-out is required")
+		os.Exit(2)
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
 	}
 
 	g, err := loadGraph(*graphFile, *dataset)
@@ -78,8 +100,9 @@ func main() {
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
 		cfg.Parallelism = *parallel
+		cfg.Tracer = tracer
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn)
+			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -102,17 +125,18 @@ func main() {
 			NetBandwidth: cfg.Machine.NetBandwidth, DiskBandwidth: cfg.Machine.DiskBandwidth,
 			StartNS: int64(res.Start), EndNS: int64(res.End),
 		}
-		fmt.Fprintf(os.Stderr, "runsim: %s on giraph: makespan %v, %d supersteps, %d GCs, %d queue stalls\n",
-			prog.Name(), res.End.Sub(res.Start), res.Stats.Supersteps,
-			res.Stats.GCCount, res.Stats.QueueStalls)
+		logger.Info(fmt.Sprintf("%s on giraph: makespan %v", prog.Name(), res.End.Sub(res.Start)),
+			"supersteps", res.Stats.Supersteps, "gcs", res.Stats.GCCount,
+			"queue_stalls", res.Stats.QueueStalls)
 
 	case "powergraph":
 		cfg := experiments.PowerGraphConfig(*scale, *bug)
 		cfg.Workers = *workers
 		cfg.ThreadsPerWorker = *threads
 		cfg.Parallelism = *parallel
+		cfg.Tracer = tracer
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn)
+			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -134,21 +158,34 @@ func main() {
 			NetBandwidth: cfg.Machine.NetBandwidth, DiskBandwidth: cfg.Machine.DiskBandwidth,
 			StartNS: int64(res.Start), EndNS: int64(res.End),
 		}
-		fmt.Fprintf(os.Stderr, "runsim: %s on powergraph: makespan %v, %d iterations, replication %.2f\n",
-			prog.Name(), res.End.Sub(res.Start), res.Stats.Iterations,
-			res.Stats.ReplicationFactor)
+		logger.Info(fmt.Sprintf("%s on powergraph: makespan %v", prog.Name(), res.End.Sub(res.Start)),
+			"iterations", res.Stats.Iterations,
+			"replication", fmt.Sprintf("%.2f", res.Stats.ReplicationFactor))
 
 	default:
-		fmt.Fprintf(os.Stderr, "runsim: unknown engine %q\n", *engine)
+		logger.Error(fmt.Sprintf("unknown engine %q", *engine))
 		os.Exit(2)
 	}
 
 	if err := rundir.Save(*out, run); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "runsim: saved %d log events to %s\n", len(run.Log.Events), *out)
+	logger.Info(fmt.Sprintf("saved %d log events to %s", len(run.Log.Events), *out))
 	if live != nil {
 		live.finish(run.Monitoring, *linger)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := report.WriteTraceEvents(f, nil, tracer); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		logger.Info("wrote trace", "path", *traceOut, "spans", len(tracer.Spans()))
 	}
 }
 
@@ -163,8 +200,10 @@ type liveServe struct {
 
 // startLive builds the streaming engine from the same models the batch
 // analyzer would resolve for this run, installs the HTTP server, and returns
-// the bundle whose tap hook goes into the simulator's Config.Tee.
-func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn bool) (*liveServe, error) {
+// the bundle whose tap hook goes into the simulator's Config.Tee. The
+// tracer (which may be nil) is shared with the simulator, so one -trace file
+// interleaves engine supersteps with analysis window flushes.
+func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn bool, tracer *obs.Tracer) (*liveServe, error) {
 	models, err := grade10.ModelsForEngine(engineName, grade10.ModelParams{
 		Job:              job,
 		Cores:            m.Cores,
@@ -184,6 +223,7 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 		ExpectedInstances: workers * resources,
 		RetainForFinal:    true,
 		Parallelism:       parallel,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -199,10 +239,10 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 	}
 	go func() {
 		if err := ls.srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintf(os.Stderr, "runsim: live server: %v\n", err)
+			logger.Error("live server: " + err.Error())
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "runsim: live characterization on %s\n", addr)
+	logger.Info("live characterization on " + addr)
 	return ls, nil
 }
 
@@ -218,9 +258,9 @@ func (ls *liveServe) finish(monitoring []cluster.ResourceSamples, linger time.Du
 	}
 	ls.engine.MonitoringDone()
 	if _, err := ls.engine.Finalize(); err != nil {
-		fmt.Fprintf(os.Stderr, "runsim: live finalize: %v\n", err)
+		logger.Error("live finalize: " + err.Error())
 	} else if linger > 0 {
-		fmt.Fprintf(os.Stderr, "runsim: exact report at /report for %v\n", linger)
+		logger.Info(fmt.Sprintf("exact report at /report for %v", linger))
 	}
 	if linger > 0 {
 		time.Sleep(linger)
@@ -248,6 +288,6 @@ func loadGraph(file, dataset string) (*graph.Graph, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "runsim: %v\n", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

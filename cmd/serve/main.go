@@ -2,25 +2,31 @@
 // directory while cmd/runsim (or any engine) is still writing it, feeds the
 // execution log and monitoring through the streaming engine, and serves the
 // evolving performance profile over HTTP — JSON endpoints for dashboards,
-// Prometheus text metrics for scraping, and, once the run completes, the
-// exact final report (byte-identical to cmd/grade10 on the same directory).
+// Prometheus text metrics for scraping, the self-trace as a Perfetto-loadable
+// Chrome trace-event file, and, once the run completes, the exact final
+// report (byte-identical to cmd/grade10 on the same directory).
 //
 // Usage:
 //
 //	serve -run run/ -addr :7070
 //	curl localhost:7070/profile      # live profile (JSON)
 //	curl localhost:7070/metrics      # Prometheus text format
+//	curl localhost:7070/trace        # Chrome trace-event JSON (Perfetto)
 //	curl localhost:7070/report       # final report (503 until the run ends)
+//	curl localhost:7070/healthz      # 503 + reason when ingest goes stale
 //
 // The service is robust to producers in progress: files that do not exist
 // yet, partially written lines, and garbled log content are handled by
-// waiting, buffering, and counting respectively.
+// waiting, buffering, and counting respectively. With -stale, /healthz
+// reports degraded (HTTP 503) when no input has arrived for the given
+// wall-clock duration while the run is still open.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,10 +35,13 @@ import (
 	"time"
 
 	"grade10/internal/grade10"
+	"grade10/internal/obs"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
 	"grade10/internal/vtime"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -46,10 +55,18 @@ func main() {
 		bounded   = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		stale     = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	var err error
+	logger, err = obs.NewLogger(os.Stderr, "serve", *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
 	if *runDir == "" {
-		fmt.Fprintln(os.Stderr, "serve: -run is required")
+		logger.Error("-run is required")
 		os.Exit(2)
 	}
 
@@ -74,7 +91,7 @@ func main() {
 			fail(err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s, tailing %s\n", *addr, *runDir)
+	logger.Info(fmt.Sprintf("listening on %s, tailing %s", *addr, *runDir))
 
 	stop := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
@@ -93,7 +110,8 @@ func main() {
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel)
+			tracer := obs.NewTracer()
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -109,10 +127,19 @@ func main() {
 			if *pprofOn {
 				srv.EnablePprof()
 			}
+			srv.SetStaleThreshold(*stale)
+			// The registry feeds /metrics with the tracer bridge (per-stage
+			// histograms), Go runtime gauges, and the engine's staleness and
+			// parser-health gauges.
+			reg := obs.NewRegistry()
+			obs.RegisterRuntime(reg)
+			obs.BridgeTracer(reg, tracer)
+			srv.RegisterEngineMetrics(reg)
+			srv.SetRegistry(reg)
 			live := http.Handler(srv)
 			handler.Store(&live)
-			fmt.Fprintf(os.Stderr, "serve: %s run of %q on %d workers; live endpoints up\n",
-				info.Engine, info.Job, info.Workers)
+			logger.Info(fmt.Sprintf("%s run of %q on %d workers; live endpoints up",
+				info.Engine, info.Job, info.Workers))
 		},
 		LogLine: func(line string) {
 			if engine != nil {
@@ -141,13 +168,13 @@ func main() {
 		fail(err)
 	}
 	st := engine.Stats()
-	fmt.Fprintf(os.Stderr,
-		"serve: run complete: %d events (%d skipped lines), %d samples, %d windows\n",
-		st.Events, st.ParseErrors, st.Samples, st.WindowsFlushed)
+	logger.Info("run complete",
+		"events", st.Events, "skipped_lines", st.ParseErrors,
+		"samples", st.Samples, "windows", st.WindowsFlushed)
 	if out != nil {
-		fmt.Fprintf(os.Stderr, "serve: exact report ready at /report\n")
+		logger.Info("exact report ready at /report")
 	} else {
-		fmt.Fprintf(os.Stderr, "serve: bounded mode: live profile at /profile, no exact /report\n")
+		logger.Info("bounded mode: live profile at /profile, no exact /report")
 	}
 
 	<-stop
@@ -157,8 +184,9 @@ func main() {
 }
 
 // buildEngine resolves the run's models through the same entry point as the
-// batch CLI and sizes the streaming engine from the run metadata.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int) (*stream.Engine, error) {
+// batch CLI and sizes the streaming engine from the run metadata. The tracer
+// self-traces window flushes and the final batch pipeline, feeding /trace.
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, tracer *obs.Tracer) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -180,6 +208,7 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		ExpectedInstances: info.Workers * resources,
 		RetainForFinal:    !bounded,
 		Parallelism:       parallel,
+		Tracer:            tracer,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)
@@ -188,6 +217,6 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

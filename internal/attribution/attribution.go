@@ -22,6 +22,7 @@ import (
 
 	"grade10/internal/core"
 	"grade10/internal/metrics"
+	"grade10/internal/obs"
 	"grade10/internal/par"
 	"grade10/internal/vtime"
 )
@@ -177,6 +178,16 @@ func AttributeWindow(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.Res
 // every worker count.
 func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
 	rules *core.RuleSet, slices core.Timeslices, workers int) (*Profile, error) {
+	return AttributeWindowTraced(tr, leaves, rt, rules, slices, workers, nil)
+}
+
+// AttributeWindowTraced is AttributeWindowN with self-tracing: each
+// per-instance attribution job and its inner upsampling step emit one span to
+// tracer, tagged with the worker lane that ran it and the virtual-time window
+// attributed. A nil tracer disables tracing with zero added allocations on
+// this hot path (every span call is a nil no-op).
+func AttributeWindowTraced(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
+	rules *core.RuleSet, slices core.Timeslices, workers int, tracer *obs.Tracer) (*Profile, error) {
 	if slices.Count == 0 {
 		return nil, fmt.Errorf("attribution: empty timeslice span")
 	}
@@ -186,8 +197,16 @@ func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.Re
 		byKey:     make(map[string]*InstanceProfile, len(instances))}
 	results := make([]*InstanceProfile, len(instances))
 	errs := make([]error, len(instances))
-	par.Do(len(instances), workers, func(i int) {
-		results[i], errs[i] = attributeInstance(instances[i], leaves, rules, slices)
+	par.DoWithWorker(len(instances), workers, func(worker, i int) {
+		span := tracer.StartSpan("attribute-instance", worker)
+		if tracer.Enabled() {
+			// Key() formats a string; only pay for it when tracing is on.
+			span.SetDetail(instances[i].Key())
+			span.SetItems(int64(slices.Count))
+			span.SetWindow(int64(slices.Start), int64(slices.End))
+		}
+		results[i], errs[i] = attributeInstance(instances[i], leaves, rules, slices, tracer, worker)
+		span.End()
 	})
 	for i, ri := range instances {
 		if errs[i] != nil {
@@ -200,7 +219,7 @@ func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.Re
 }
 
 func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
-	rules *core.RuleSet, slices core.Timeslices) (*InstanceProfile, error) {
+	rules *core.RuleSet, slices core.Timeslices, tracer *obs.Tracer, worker int) (*InstanceProfile, error) {
 	ip := &InstanceProfile{
 		Instance:       ri,
 		Consumption:    make([]float64, slices.Count),
@@ -247,9 +266,15 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 
 	// Step 1+2: upsample each monitoring measurement to slice granularity
 	// (§III-D2).
+	uspan := tracer.StartSpan("upsample", worker)
+	if tracer.Enabled() {
+		uspan.SetDetail(ri.Key())
+		uspan.SetItems(int64(len(ri.Samples.Samples)))
+	}
 	if err := upsample(ip, ri, slices); err != nil {
 		return nil, err
 	}
+	uspan.End()
 
 	// Step 3: attribute per-slice consumption to phases (§III-D3).
 	for k := 0; k < slices.Count; k++ {

@@ -27,7 +27,7 @@ type fig2 struct {
 	r1, r2, r3 *core.Resource
 }
 
-func buildFig2(t *testing.T) *fig2 {
+func buildFig2(t testing.TB) *fig2 {
 	t.Helper()
 	root := core.NewRootType("job")
 	for _, name := range []string{"p1", "p2", "p3", "p4"} {

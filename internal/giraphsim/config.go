@@ -21,6 +21,7 @@ package giraphsim
 import (
 	"grade10/internal/cluster"
 	"grade10/internal/enginelog"
+	"grade10/internal/obs"
 	"grade10/internal/vtime"
 )
 
@@ -101,6 +102,11 @@ type Config struct {
 	// for live characterization (stream.Tap) while the engine runs. It is
 	// called synchronously on the engine's goroutine.
 	Tee func(enginelog.Event)
+
+	// Tracer, when set, records self-trace spans for each superstep and its
+	// host-side cost-model precomputation, annotated with the superstep's
+	// virtual-time window. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 
 	// Parallelism is the host-side worker count for precomputing the
 	// engine's cost model (per-thread chunk building and receive counts).

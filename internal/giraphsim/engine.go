@@ -180,6 +180,8 @@ type dstBytes struct {
 // discrete-event scheduler, so the engine log is byte-identical regardless
 // of Config.Parallelism.
 func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.Step) {
+	span := e.cfg.Tracer.StartSpan("superstep", -1)
+	vStart := e.sched.Now()
 	ssPath := enginelog.JoinIndexed(execPath, "superstep", s)
 	e.log.StartPhase(ssPath, -1)
 	e.log.AddCounter("active-vertices", float64(len(step.Active)))
@@ -204,6 +206,12 @@ func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.
 	}
 	latch.Wait(p)
 	e.log.EndPhase(ssPath)
+	if e.cfg.Tracer.Enabled() {
+		span.SetDetail(ssPath)
+		span.SetItems(int64(len(step.Active)))
+		span.SetWindow(int64(vStart), int64(e.sched.Now()))
+	}
+	span.End()
 
 	e.updateRecv(step)
 }
@@ -215,7 +223,12 @@ func (e *engine) superstep(p *sim.Proc, execPath string, s int, step vertexprog.
 // the produced chunks are identical to a serial build.
 func (e *engine) precomputeChunks(activeByWorker [][]graph.Vertex,
 	step vertexprog.Step) [][][]chunk {
+	span := e.cfg.Tracer.StartSpan("precompute-chunks", -1)
+	defer span.End()
 	threads := e.cfg.ThreadsPerWorker
+	if e.cfg.Tracer.Enabled() {
+		span.SetItems(int64(e.cfg.Workers * threads))
+	}
 	chunks := make([][][]chunk, e.cfg.Workers)
 	for w := range chunks {
 		chunks[w] = make([][]chunk, threads)

@@ -9,6 +9,7 @@ import (
 	"grade10/internal/core"
 	"grade10/internal/enginelog"
 	"grade10/internal/issues"
+	"grade10/internal/obs"
 	"grade10/internal/vtime"
 )
 
@@ -31,6 +32,10 @@ type Input struct {
 	// issue detector's trace replays. Output is identical for every value;
 	// 0 takes par.Default() (GOMAXPROCS unless overridden).
 	Parallelism int
+	// Tracer collects self-trace spans for every pipeline stage (trace
+	// build, resource trace assembly, attribution jobs, bottleneck scan,
+	// issue replays). Nil disables self-tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Output is the full performance profile of one execution.
@@ -55,11 +60,16 @@ func Characterize(in Input) (*Output, error) {
 	if in.Timeslice == 0 {
 		in.Timeslice = DefaultTimeslice
 	}
+	span := in.Tracer.StartSpan("build-execution-trace", -1)
+	span.SetItems(int64(len(in.Log.Events)))
 	tr, err := core.BuildExecutionTrace(in.Log, in.Models.Exec)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("grade10: parsing log: %w", err)
 	}
 
+	span = in.Tracer.StartSpan("build-resource-trace", -1)
+	span.SetItems(int64(len(in.Monitoring)))
 	rt := core.NewResourceTrace()
 	for _, rs := range in.Monitoring {
 		res := in.Models.Res.Lookup(rs.Resource)
@@ -71,20 +81,38 @@ func Characterize(in Input) (*Output, error) {
 			machine = core.GlobalMachine
 		}
 		if err := rt.Add(res, machine, rs.Samples); err != nil {
+			span.End()
 			return nil, fmt.Errorf("grade10: resource trace: %w", err)
 		}
 	}
+	span.End()
 
 	slices := core.NewTimeslices(tr.Start, tr.End, in.Timeslice)
-	prof, err := attribution.AttributeN(tr, rt, in.Models.Rules, slices, in.Parallelism)
+	span = in.Tracer.StartSpan("attribution", -1)
+	span.SetItems(int64(slices.Count))
+	span.SetWindow(int64(slices.Start), int64(slices.End))
+	prof, err := attribution.AttributeWindowTraced(tr, tr.Leaves(), rt, in.Models.Rules,
+		slices, in.Parallelism, in.Tracer)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("grade10: attribution: %w", err)
 	}
+
+	span = in.Tracer.StartSpan("bottleneck-scan", -1)
 	btl := bottleneck.Detect(prof, in.BottleneckConfig)
+	span.SetItems(int64(len(btl.Bottlenecks)))
+	span.End()
+
 	if in.IssueConfig.Parallelism == 0 {
 		in.IssueConfig.Parallelism = in.Parallelism
 	}
+	if in.IssueConfig.Tracer == nil {
+		in.IssueConfig.Tracer = in.Tracer
+	}
+	span = in.Tracer.StartSpan("issue-analysis", -1)
 	iss := issues.Analyze(prof, btl, in.IssueConfig)
+	span.SetItems(int64(len(iss.Issues)))
+	span.End()
 
 	return &Output{Trace: tr, Slices: slices, Profile: prof, Bottlenecks: btl, Issues: iss}, nil
 }

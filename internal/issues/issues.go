@@ -7,6 +7,7 @@ import (
 	"grade10/internal/attribution"
 	"grade10/internal/bottleneck"
 	"grade10/internal/core"
+	"grade10/internal/obs"
 	"grade10/internal/par"
 	"grade10/internal/vtime"
 )
@@ -103,6 +104,9 @@ type Config struct {
 	// hypothesis). 0 takes par.Default(); 1 runs serially. The report is
 	// identical for every value.
 	Parallelism int
+	// Tracer receives one self-trace span per candidate replay. Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the default thresholds.
@@ -174,8 +178,12 @@ func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Rep
 	}
 
 	results := make([]Issue, len(cands))
-	par.Do(len(cands), cfg.Parallelism, func(i int) {
+	par.DoWithWorker(len(cands), cfg.Parallelism, func(worker, i int) {
 		c := cands[i]
+		span := cfg.Tracer.StartSpan("issue-replay", worker)
+		if cfg.Tracer.Enabled() {
+			span.SetDetail(c.kind.String() + ":" + c.name)
+		}
 		issue := Issue{Kind: c.kind, Original: rep.Original}
 		var durs Durations
 		switch c.kind {
@@ -189,6 +197,7 @@ func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Rep
 		issue.Optimistic = Replay(tr, durs)
 		issue.Impact = impact(rep.Original, issue.Optimistic)
 		results[i] = issue
+		span.End()
 	})
 	rep.Issues = make([]Issue, 0, len(results))
 	for _, issue := range results {

@@ -1,0 +1,56 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime registers Go runtime health gauges (evaluated at scrape
+// time) on the registry: goroutine count, heap/system memory, GC cycles.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	readMem := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return f(&m)
+		}
+	}
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		readMem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_mem_sys_bytes", "Bytes of memory obtained from the OS.",
+		readMem(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		readMem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+}
+
+// BridgeTracer feeds every span the tracer completes into per-stage metric
+// families on the registry: a duration histogram plus item/byte throughput
+// counters. Install before instrumented code runs; replaces any previous
+// OnRecord hook.
+func BridgeTracer(r *Registry, t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	durs := r.HistogramVec("grade10_stage_duration_seconds",
+		"Wall-clock duration of pipeline self-trace spans, per stage.", nil, "stage")
+	items := r.CounterVec("grade10_stage_items_total",
+		"Items (events, samples, slices) processed by pipeline stages.", "stage")
+	bytesTotal := r.CounterVec("grade10_stage_bytes_total",
+		"Bytes processed by pipeline stages.", "stage")
+	spans := r.Counter("grade10_spans_total", "Completed self-trace spans.")
+	r.GaugeFunc("grade10_spans_dropped_total",
+		"Self-trace spans discarded by the bounded ring.",
+		func() float64 { return float64(t.Dropped()) })
+	t.OnRecord(func(rec SpanRecord) {
+		spans.Inc()
+		durs.With(rec.Stage).Observe(rec.Dur.Seconds())
+		if rec.Items > 0 {
+			items.With(rec.Stage).Add(float64(rec.Items))
+		}
+		if rec.Bytes > 0 {
+			bytesTotal.With(rec.Stage).Add(float64(rec.Bytes))
+		}
+	})
+}

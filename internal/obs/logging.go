@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// NewLogger builds the slog.Logger shared by the cmd/* binaries, selected by
+// the -log-format flag. Format "text" emits one "<cmd>: msg key=value ..."
+// line per record — the same "<cmd>: " diagnostic prefix the commands have
+// always used, so output filtering on that prefix keeps working. Format
+// "json" emits standard slog JSON records with a fixed cmd attribute.
+func NewLogger(w io.Writer, cmd, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(&prefixHandler{w: w, mu: &sync.Mutex{}, prefix: cmd}), nil
+	case "json":
+		h := slog.NewJSONHandler(w, nil)
+		return slog.New(h).With("cmd", cmd), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// prefixHandler is a minimal slog.Handler that renders records as
+// "<prefix>: [LEVEL ]msg key=value ..." lines. INFO is the quiet default and
+// carries no level tag; WARN/ERROR/DEBUG are tagged.
+type prefixHandler struct {
+	w      io.Writer
+	mu     *sync.Mutex
+	prefix string
+	attrs  []slog.Attr
+}
+
+func (h *prefixHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h *prefixHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(h.prefix)
+	sb.WriteString(": ")
+	if r.Level != slog.LevelInfo {
+		sb.WriteString(r.Level.String())
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(r.Message)
+	appendAttr := func(a slog.Attr) {
+		if a.Equal(slog.Attr{}) {
+			return
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		val := a.Value.String()
+		if strings.ContainsAny(val, " \t\"") {
+			val = fmt.Sprintf("%q", val)
+		}
+		sb.WriteString(val)
+	}
+	for _, a := range h.attrs {
+		appendAttr(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(a)
+		return true
+	})
+	sb.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, sb.String())
+	return err
+}
+
+func (h *prefixHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &nh
+}
+
+func (h *prefixHandler) WithGroup(name string) slog.Handler {
+	// Groups are flattened: the cmd binaries only use top-level attrs.
+	return h
+}

@@ -64,13 +64,21 @@ func Workers(n, jobs int) int {
 // panic in any fn is re-raised on the caller's goroutine after the remaining
 // workers drain.
 func Do(jobs, workers int, fn func(i int)) {
+	DoWithWorker(jobs, workers, func(_, i int) { fn(i) })
+}
+
+// DoWithWorker is Do with the executing worker's lane id passed to fn
+// (0 <= worker < resolved workers). Lane-to-index assignment is
+// nondeterministic; the id exists for observability — span tracing renders
+// one timeline track per lane — never for result placement.
+func DoWithWorker(jobs, workers int, fn func(worker, i int)) {
 	if jobs <= 0 {
 		return
 	}
 	workers = Workers(workers, jobs)
 	if workers == 1 {
 		for i := 0; i < jobs; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -81,7 +89,7 @@ func Do(jobs, workers int, fn func(i int)) {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -93,9 +101,9 @@ func Do(jobs, workers int, fn func(i int)) {
 				if i >= jobs || panicked.Load() != nil {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if r := panicked.Load(); r != nil {

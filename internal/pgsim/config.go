@@ -22,6 +22,7 @@ package pgsim
 import (
 	"grade10/internal/cluster"
 	"grade10/internal/enginelog"
+	"grade10/internal/obs"
 	"grade10/internal/vtime"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// for live characterization (stream.Tap) while the engine runs. It is
 	// called synchronously on the engine's goroutine.
 	Tee func(enginelog.Event)
+
+	// Tracer, when set, records self-trace spans for each GAS iteration and
+	// its host-side plan precomputation, annotated with the iteration's
+	// virtual-time window. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 
 	// Parallelism is the host-side worker count for precomputing each
 	// iteration's plan (participating edges and per-thread chunk work). The

@@ -158,6 +158,11 @@ type iterPlan struct {
 // within a job the accumulation order matches the former serial loops, so
 // the plan (and therefore the simulated schedule) is identical.
 func (e *engine) plan(step vertexprog.Step) *iterPlan {
+	span := e.cfg.Tracer.StartSpan("precompute-plan", -1)
+	defer span.End()
+	if e.cfg.Tracer.Enabled() {
+		span.SetItems(int64(len(step.Active)))
+	}
 	W := e.cfg.Workers
 	pl := &iterPlan{
 		gatherEdges:  make([][]int64, W),
@@ -294,6 +299,8 @@ func make2D(n int) [][]float64 {
 
 // iteration runs one GAS iteration across all workers.
 func (e *engine) iteration(p *sim.Proc, execPath string, s int, step vertexprog.Step) {
+	span := e.cfg.Tracer.StartSpan("iteration", -1)
+	vStart := e.sched.Now()
 	itPath := enginelog.JoinIndexed(execPath, "iteration", s)
 	e.log.StartPhase(itPath, -1)
 	e.log.AddCounter("active-vertices", float64(len(step.Active)))
@@ -313,6 +320,12 @@ func (e *engine) iteration(p *sim.Proc, execPath string, s int, step vertexprog.
 	}
 	latch.Wait(p)
 	e.log.EndPhase(itPath)
+	if e.cfg.Tracer.Enabled() {
+		span.SetDetail(itPath)
+		span.SetItems(int64(len(step.Active)))
+		span.SetWindow(int64(vStart), int64(e.sched.Now()))
+	}
+	span.End()
 }
 
 // workerIteration runs one worker's minor-steps.

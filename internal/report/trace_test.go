@@ -1,0 +1,173 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"grade10/internal/cluster"
+	"grade10/internal/giraphsim"
+	"grade10/internal/grade10"
+	"grade10/internal/obs"
+	"grade10/internal/vtime"
+	"grade10/internal/workload"
+)
+
+// characterizeAt runs the standard sample workload through the pipeline at
+// an explicit parallelism, optionally self-traced.
+func characterizeAt(t *testing.T, parallelism int, tracer *obs.Tracer) *grade10.Output {
+	t.Helper()
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 2
+	cfg.ThreadsPerWorker = 4
+	cfg.HeapCapacity = 1 << 20
+	run, err := workload.RunGiraph(
+		workload.Spec{Dataset: workload.Datasets()[0], Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitoring, err := cluster.Monitor(run.Result.Cluster, run.Result.Start, run.Result.End,
+		50*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := grade10.Characterize(grade10.Input{
+		Log:         run.Result.Log,
+		Monitoring:  monitoring,
+		Models:      run.Models,
+		Timeslice:   10 * vtime.Millisecond,
+		Parallelism: parallelism,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTraceEventsWellFormed is the exporter's golden validity test: the
+// combined self-trace + job-profile export must be valid trace-event JSON
+// with matched B/E pairs and monotone timestamps per track, and must contain
+// both event groups.
+func TestTraceEventsWellFormed(t *testing.T) {
+	tracer := obs.NewTracer()
+	out := characterizeAt(t, 4, tracer)
+
+	b, err := BuildTraceEvents(out, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateTrace(); err != nil {
+		t.Fatalf("exported trace is malformed: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	var sawSelfSpan, sawMachine, sawPhaseSlice, sawCounter bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.PID == selfPID && ev.Ph == "B":
+			sawSelfSpan = true
+		case ev.PID >= machinePIDBase && ev.Ph == "M" && ev.Name == "process_name":
+			if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "job:") {
+				sawMachine = true
+			}
+		case ev.PID >= machinePIDBase && ev.Ph == "B":
+			sawPhaseSlice = true
+		case ev.Ph == "C":
+			sawCounter = true
+		}
+	}
+	if !sawSelfSpan {
+		t.Error("no pipeline self-trace spans in export")
+	}
+	if !sawMachine {
+		t.Error("no job machine process in export")
+	}
+	if !sawPhaseSlice {
+		t.Error("no phase slices in export")
+	}
+	if !sawCounter {
+		t.Error("no attribution counter samples in export")
+	}
+
+	// The self-trace must include the instrumented stages.
+	stages := map[string]bool{}
+	for _, s := range tracer.Spans() {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"build-execution-trace", "attribution",
+		"attribute-instance", "upsample", "bottleneck-scan", "issue-analysis", "issue-replay"} {
+		if !stages[want] {
+			t.Errorf("self-trace missing stage %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestTraceStableAcrossParallelism: the job-profile export (the
+// deterministic part — self-span wall times inherently vary) must be
+// byte-identical whatever worker count produced the profile.
+func TestTraceStableAcrossParallelism(t *testing.T) {
+	var exports []string
+	for _, p := range []int{1, 8} {
+		out := characterizeAt(t, p, nil)
+		var buf bytes.Buffer
+		if err := WriteTraceEvents(&buf, out, nil); err != nil {
+			t.Fatal(err)
+		}
+		exports = append(exports, buf.String())
+	}
+	if exports[0] != exports[1] {
+		t.Fatal("trace export differs between -parallelism 1 and 8")
+	}
+	// And re-exporting the same output is also byte-stable.
+	out := characterizeAt(t, 2, nil)
+	var a, bb bytes.Buffer
+	if err := WriteTraceEvents(&a, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceEvents(&bb, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != bb.String() {
+		t.Fatal("re-export of the same output differs")
+	}
+}
+
+// TestTraceSelfOnly covers the runsim path: no characterization output, just
+// the pipeline/simulator self-trace.
+func TestTraceSelfOnly(t *testing.T) {
+	tracer := obs.NewTracer()
+	s := tracer.StartSpan("superstep", -1)
+	s.SetWindow(0, int64(vtime.Second))
+	s.End()
+	b, err := BuildTraceEvents(nil, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateTrace(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "superstep") {
+		t.Error("self-only export missing span")
+	}
+}

@@ -1,0 +1,47 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscaping pins the exposition-format escaping contract for
+// label values flowing through promLabel: backslash, double quote, and
+// newline must be escaped exactly once. Hostile phase/resource names (which
+// ultimately come from engine logs) must not corrupt the /metrics output.
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"cpu@0", `instance="cpu@0"`},
+		{`back\slash`, `instance="back\\slash"`},
+		{`say "hi"`, `instance="say \"hi\""`},
+		{"line\nbreak", `instance="line\nbreak"`},
+		{"all\\three\"\nat once", `instance="all\\three\"\nat once"`},
+	}
+	for _, c := range cases {
+		if got := promLabel("instance", c.in); got != c.want {
+			t.Errorf("promLabel(instance, %q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	// The historical bug: wrapping the escaped value with %q re-escapes the
+	// backslashes promEscape produced. Guard against its return.
+	if got := promLabel("resource", `a\b`); strings.Contains(got, `\\\\`) {
+		t.Errorf("label value double-escaped: %s", got)
+	}
+}
+
+// TestPromWriterHostileNames drives the full promWriter path with hostile
+// phase and resource names and checks the rendered exposition lines.
+func TestPromWriterHostileNames(t *testing.T) {
+	p := &promWriter{w: &bytes.Buffer{}}
+	p.family("grade10_bottleneck_seconds_total", "h", "counter")
+	p.value(promLabel("type_path", "Superstep \"0\"\nGC")+","+
+		promLabel("resource", `disk\scratch`)+","+promLabel("kind", "blocking"), 1.5)
+	got := p.w.String()
+	want := "# HELP grade10_bottleneck_seconds_total h\n" +
+		"# TYPE grade10_bottleneck_seconds_total counter\n" +
+		`grade10_bottleneck_seconds_total{type_path="Superstep \"0\"\nGC",resource="disk\\scratch",kind="blocking"} 1.5` + "\n"
+	if got != want {
+		t.Errorf("promWriter output:\n%s\nwant:\n%s", got, want)
+	}
+}

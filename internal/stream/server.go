@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"grade10/internal/obs"
 	"grade10/internal/report"
 )
 
@@ -22,12 +24,19 @@ import (
 //	/stats       ingest and robustness counters (JSON)
 //	/metrics     Prometheus text format
 //	/report      the final batch-identical report (text; 503 until finalized)
-//	/healthz     liveness
+//	/trace       Chrome trace-event JSON (self-trace + profile when final)
+//	/healthz     liveness; 503 degraded when ingest is stale
 //
 // Server is an http.Handler; mount it on any mux or serve it directly.
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
+
+	// staleAfter > 0 makes /healthz answer 503 when the last ingested input
+	// is older than the threshold (and the run is not finalized).
+	staleAfter time.Duration
+	// registry, when set, has its families appended to /metrics.
+	registry *obs.Registry
 
 	mu         sync.Mutex
 	reportText []byte // cached render of the exact final report
@@ -43,9 +52,59 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
+}
+
+// SetStaleThreshold configures the /healthz degraded threshold; 0 disables
+// staleness checking (always healthy). Set before serving traffic.
+func (s *Server) SetStaleThreshold(d time.Duration) { s.staleAfter = d }
+
+// SetRegistry appends the registry's families (self-trace stage metrics, Go
+// runtime gauges, ...) to the /metrics exposition. Set before serving.
+func (s *Server) SetRegistry(r *obs.Registry) { s.registry = r }
+
+// Degraded reports whether the server currently considers ingest stale, and
+// why. Always healthy with no threshold, or once finalized.
+func (s *Server) Degraded() (bool, string) {
+	if s.staleAfter <= 0 {
+		return false, ""
+	}
+	age, finalized := s.engine.IngestAge()
+	if finalized || age <= s.staleAfter {
+		return false, ""
+	}
+	return true, fmt.Sprintf("degraded: last ingest %s ago (threshold %s)",
+		age.Round(time.Millisecond), s.staleAfter)
+}
+
+// RegisterEngineMetrics registers scrape-time gauges derived from the
+// engine's wall-clock state: ingest staleness, health, and the parser's
+// malformed-line count (enginelog.ParseStats, merged into Stats), so they
+// ride the same /metrics exposition as the tracer-fed stage families.
+func (s *Server) RegisterEngineMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	r.GaugeFunc("grade10_uptime_seconds", "Wall-clock seconds since the service started.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("grade10_last_ingest_age_seconds",
+		"Wall-clock seconds since the last ingested event, line, or sample.",
+		func() float64 { age, _ := s.engine.IngestAge(); return age.Seconds() })
+	r.GaugeFunc("grade10_health_degraded",
+		"1 when /healthz reports degraded (ingest older than the staleness threshold).",
+		func() float64 {
+			if degraded, _ := s.Degraded(); degraded {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("grade10_parser_malformed_lines",
+		"Malformed log lines counted by the enginelog parser (ParseStats).",
+		func() float64 { return float64(s.engine.Stats().ParseErrors) })
 }
 
 // ServeHTTP implements http.Handler.
@@ -76,7 +135,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "grade10 live characterization")
-	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /healthz")
+	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /trace /healthz")
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
@@ -115,7 +174,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if degraded, reason := s.Degraded(); degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleTrace serves the combined Chrome trace-event export: the pipeline's
+// self-trace spans plus, once the run is finalized in retain mode, the
+// analyzed job's profile tracks.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	out, _, _ := s.engine.FinalStatus()
+	tracer := s.engine.Tracer()
+	if out == nil && tracer == nil {
+		http.Error(w, "tracing disabled and no finalized profile", http.StatusServiceUnavailable)
+		return
+	}
+	var buf bytes.Buffer
+	if err := report.WriteTraceEvents(&buf, out, tracer); err != nil {
+		http.Error(w, "rendering trace: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="grade10-trace.json"`)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleReport serves the exact final report. Until Finalize has run it
@@ -150,10 +234,17 @@ func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(text)
 }
 
-// promEscape escapes a Prometheus label value.
+// promEscape escapes a Prometheus label value per the text exposition spec.
 func promEscape(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 	return r.Replace(v)
+}
+
+// promLabel renders one key="value" pair with a spec-escaped value. The
+// escaped value must be wrapped in plain quotes — %q would re-escape the
+// backslashes promEscape just produced.
+func promLabel(key, value string) string {
+	return key + `="` + promEscape(value) + `"`
 }
 
 type promWriter struct {
@@ -224,20 +315,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	p.family("grade10_resource_utilization", "Cumulative utilization of a resource instance over flushed windows.", "gauge")
 	for _, is := range snap.Instances {
-		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.Utilization)
+		p.value(promLabel("instance", is.Key), is.Utilization)
 	}
 	p.family("grade10_resource_last_window_utilization", "Utilization of a resource instance in the most recent window.", "gauge")
 	for _, is := range snap.Instances {
-		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.LastWindowUtilization)
+		p.value(promLabel("instance", is.Key), is.LastWindowUtilization)
 	}
 	p.family("grade10_resource_saturated_seconds_total", "Virtual seconds a resource instance spent saturated.", "counter")
 	for _, is := range snap.Instances {
-		p.value(fmt.Sprintf("instance=%q", promEscape(is.Key)), is.SaturatedSeconds)
+		p.value(promLabel("instance", is.Key), is.SaturatedSeconds)
 	}
 	p.family("grade10_bottleneck_seconds_total", "Virtual seconds of detected bottleneck per phase type, resource, and kind.", "counter")
 	for _, b := range snap.Bottlenecks {
-		p.value(fmt.Sprintf("type_path=%q,resource=%q,kind=%q",
-			promEscape(b.TypePath), promEscape(b.Resource), promEscape(b.Kind)), b.Seconds)
+		p.value(promLabel("type_path", b.TypePath)+","+promLabel("resource", b.Resource)+
+			","+promLabel("kind", b.Kind), b.Seconds)
 	}
 
 	if len(snap.Counters) > 0 {
@@ -248,12 +339,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		sort.Strings(names)
 		p.family("grade10_engine_counter_sum", "Sum of an engine-reported counter.", "gauge")
 		for _, name := range names {
-			p.value(fmt.Sprintf("name=%q", promEscape(name)), snap.Counters[name].Sum)
+			p.value(promLabel("name", name), snap.Counters[name].Sum)
 		}
 		p.family("grade10_engine_counter_last", "Last value of an engine-reported counter.", "gauge")
 		for _, name := range names {
-			p.value(fmt.Sprintf("name=%q", promEscape(name)), snap.Counters[name].Last)
+			p.value(promLabel("name", name), snap.Counters[name].Last)
 		}
+	}
+
+	// Registry-fed families (self-trace stage metrics, runtime gauges,
+	// staleness) append after the hand-rolled snapshot families.
+	if s.registry != nil {
+		_ = s.registry.WriteText(p.w)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

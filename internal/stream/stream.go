@@ -35,6 +35,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"grade10/internal/attribution"
 	"grade10/internal/bottleneck"
@@ -44,6 +45,7 @@ import (
 	"grade10/internal/grade10"
 	"grade10/internal/issues"
 	"grade10/internal/metrics"
+	"grade10/internal/obs"
 	"grade10/internal/rundir"
 	"grade10/internal/vtime"
 )
@@ -75,6 +77,13 @@ type Config struct {
 	// retain mode, the final batch pipeline. Results are identical for every
 	// value; 0 takes par.Default().
 	Parallelism int
+	// Tracer collects self-trace spans for window flushes, the per-instance
+	// attribution jobs inside them, and (in retain mode) the final batch
+	// pipeline. Nil disables self-tracing at zero cost.
+	Tracer *obs.Tracer
+	// Now is the wall clock used for ingest staleness tracking; nil takes
+	// time.Now. Injectable for tests.
+	Now func() time.Time
 }
 
 func (c *Config) fill() error {
@@ -219,6 +228,11 @@ type Engine struct {
 	finalized bool
 	finalOut  *grade10.Output
 	finalErr  error
+
+	// lastIngest is the wall-clock time of the most recent input (event,
+	// line, or sample — valid or not); starts at engine creation so a feed
+	// that never produces anything still reads as stale.
+	lastIngest time.Time
 }
 
 // New creates an engine for one run.
@@ -226,16 +240,33 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	return &Engine{
-		cfg:      cfg,
-		root:     &core.Phase{Path: "/", Machine: -1, Start: vtime.Infinity},
-		open:     map[string]*core.Phase{},
-		feeds:    map[string]*instFeed{},
-		instAggs: map[string]*instAgg{},
-		btlAggs:  map[bottleneckKey]*bottleneckAgg{},
-		typeAggs: map[string]*typeAgg{},
-		counters: map[string]*CounterValue{},
+		cfg:        cfg,
+		root:       &core.Phase{Path: "/", Machine: -1, Start: vtime.Infinity},
+		open:       map[string]*core.Phase{},
+		feeds:      map[string]*instFeed{},
+		instAggs:   map[string]*instAgg{},
+		btlAggs:    map[bottleneckKey]*bottleneckAgg{},
+		typeAggs:   map[string]*typeAgg{},
+		counters:   map[string]*CounterValue{},
+		lastIngest: cfg.Now(),
 	}, nil
+}
+
+// Tracer returns the engine's self-tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.cfg.Tracer }
+
+// IngestAge returns the wall-clock age of the most recent ingested input
+// (any event, line, or sample; from engine creation before the first one)
+// and whether the engine has been finalized — a finalized engine is complete,
+// not stale.
+func (e *Engine) IngestAge() (age time.Duration, finalized bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Now().Sub(e.lastIngest), e.finalized
 }
 
 // Timeslice returns the engine's analysis granularity.
@@ -245,6 +276,7 @@ func (e *Engine) Timeslice() vtime.Duration { return e.cfg.Timeslice }
 func (e *Engine) IngestLine(line string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastIngest = e.cfg.Now()
 	ev, ok, _ := e.parser.ParseLine(line)
 	if ok {
 		e.ingestEventLocked(ev)
@@ -265,6 +297,7 @@ func (e *Engine) IngestReader(r io.Reader) error {
 func (e *Engine) IngestEvent(ev enginelog.Event) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastIngest = e.cfg.Now()
 	e.ingestEventLocked(ev)
 }
 
@@ -401,6 +434,7 @@ func (e *Engine) noteWatermarkLocked(t vtime.Time) {
 func (e *Engine) IngestSample(machine int, resource string, capacity float64, s metrics.Sample) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastIngest = e.cfg.Now()
 	res := e.cfg.Models.Res.Lookup(resource)
 	if res == nil || res.Kind != core.Consumable {
 		e.stats.IgnoredSamples++
@@ -595,15 +629,23 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 	}
 
 	tr := &core.ExecutionTrace{Root: e.root, Start: w0, End: w1}
-	prof, err := attribution.AttributeWindowN(tr, leaves, rt, e.cfg.Models.Rules, win, e.cfg.Parallelism)
+	span := e.cfg.Tracer.StartSpan("window-flush", -1)
+	if e.cfg.Tracer.Enabled() {
+		span.SetItems(int64(len(leaves)))
+		span.SetWindow(int64(w0), int64(w1))
+	}
+	prof, err := attribution.AttributeWindowTraced(tr, leaves, rt, e.cfg.Models.Rules, win,
+		e.cfg.Parallelism, e.cfg.Tracer)
 	for _, ph := range reopened {
 		ph.End = -1
 	}
 	if err != nil {
+		span.End()
 		return // unreachable: windows are never empty
 	}
 	rep := bottleneck.DetectWindow(prof, e.cfg.Bottleneck)
 	e.foldWindowLocked(win, prof, rep)
+	span.End()
 }
 
 // retireLocked drops live state wholly behind the flushed frontier.
@@ -714,6 +756,7 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 		BottleneckConfig: e.cfg.Bottleneck,
 		IssueConfig:      e.cfg.Issues,
 		Parallelism:      e.cfg.Parallelism,
+		Tracer:           e.cfg.Tracer,
 	})
 	return e.finalOut, e.finalErr
 }
