@@ -26,10 +26,12 @@ import (
 	"grade10/internal/enginelog"
 	"grade10/internal/experiments"
 	"grade10/internal/giraphsim"
+	grade10lib "grade10/internal/grade10"
 	"grade10/internal/graph"
 	"grade10/internal/issues"
 	"grade10/internal/metrics"
 	"grade10/internal/pgsim"
+	"grade10/internal/profstore"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
 	"grade10/internal/vertexprog"
@@ -515,10 +517,26 @@ func BenchmarkSuperstepParallel(b *testing.B) {
 // write the results (with honest host-core counts — speedup requires real
 // cores) to BENCH_pipeline.json for comparison across PRs.
 //
+// The bench rides through profstore: the fixture run is characterized and
+// archived (GRADE10_BENCH_STORE names the store directory; default a temp
+// dir) with the stage timings attached as Record.Bench, and the JSON gains
+// the archived run_id — so `grade10 -diff` between two bench records shows
+// the wall-clock trajectory next to the simulated-profile deltas. Timings
+// are host-dependent and excluded from the content ID: on a 1-core host all
+// speedups read ~1x, which says nothing about the pipeline's scalability.
+//
 //	GRADE10_WRITE_BENCH=1 go test -run TestWriteBenchPipeline -count=1 .
 func TestWriteBenchPipeline(t *testing.T) {
 	if os.Getenv("GRADE10_WRITE_BENCH") == "" {
 		t.Skip("set GRADE10_WRITE_BENCH=1 to write BENCH_pipeline.json")
+	}
+	fixCfg := giraphsim.DefaultConfig()
+	fixCfg.Workers = 4
+	fixRun, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "bench", Gen: func() *graph.Graph { return graph.RMAT(11, 8, 42) }},
+		Algorithm: "pagerank"}, fixCfg)
+	if err != nil {
+		t.Fatal(err)
 	}
 	tr, rt, rules, slices := analyzerFixture(t)
 	prof, err := attribution.Attribute(tr, rt, rules, slices)
@@ -563,18 +581,58 @@ func TestWriteBenchPipeline(t *testing.T) {
 		}),
 	}
 
+	// Archive the characterized fixture run with the stage timings attached,
+	// so the bench trajectory is diffable like any other archived profile.
+	mon, err := cluster.Monitor(fixRun.Result.Cluster, fixRun.Result.Start,
+		fixRun.Result.End, 50*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charOut, err := grade10lib.Characterize(grade10lib.Input{
+		Log: fixRun.Result.Log, Monitoring: mon, Models: fixRun.Models,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := profstore.BuildRecord(rundir.Info{
+		Engine: "giraph", Job: "pagerank", Workers: fixCfg.Workers,
+		ThreadsPerWorker: fixCfg.ThreadsPerWorker, Cores: fixCfg.Machine.Cores,
+		NetBandwidth: fixCfg.Machine.NetBandwidth, DiskBandwidth: fixCfg.Machine.DiskBandwidth,
+		StartNS: int64(fixRun.Result.Start), EndNS: int64(fixRun.Result.End),
+	}, charOut)
+	rec.Label = "bench-pipeline"
+	for _, s := range stages {
+		rec.Bench = append(rec.Bench, profstore.BenchStage{Name: s.Name, NsPerOp: s.NsPerOp})
+	}
+	storeDir := os.Getenv("GRADE10_BENCH_STORE")
+	if storeDir == "" {
+		storeDir = t.TempDir()
+	}
+	store, err := profstore.Open(storeDir, profstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := store.Put(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	out := struct {
 		Date       string  `json:"date"`
+		RunID      string  `json:"run_id"`
 		HostCPUs   int     `json:"host_cpus"`
 		GoMaxProcs int     `json:"gomaxprocs"`
 		Note       string  `json:"note"`
 		Stages     []stage `json:"stages"`
 	}{
 		Date:       time.Now().UTC().Format("2006-01-02"),
+		RunID:      meta.ID,
 		HostCPUs:   runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Note: "speedup is relative to workers=1 on this host; " +
-			"parallel gains need host_cpus > 1",
+			"parallel gains need host_cpus > 1 (a 1-core host honestly reads ~1x). " +
+			"run_id is the profstore content ID of the archived fixture profile " +
+			"(timings ride as Record.Bench, excluded from the ID).",
 		Stages: stages,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -584,7 +642,7 @@ func TestWriteBenchPipeline(t *testing.T) {
 	if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_pipeline.json (host_cpus=%d)", out.HostCPUs)
+	t.Logf("wrote BENCH_pipeline.json (host_cpus=%d, run_id=%s)", out.HostCPUs, meta.ID)
 }
 
 // BenchmarkDataflowEngine measures the Spark-like extension engine.

@@ -125,4 +125,73 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.HasPrefix(string(data), "slice,start_ns,") {
 		t.Fatalf("csv header: %.60s", data)
 	}
+
+	// Archive + diff: run the same compute-heavy workload twice — once at the
+	// engine's default background noise, once with heavy injected CPU noise
+	// (cluster.Noise via -noise) — archive both analyses, and the diff must
+	// flag the regression and localize it to the compute leaf × cpu. The
+	// built-in rmat dataset with default threads keeps compute a large enough
+	// share of the makespan that CPU contention moves the verdict.
+	diffBaseDir := filepath.Join(dir, "run-diffbase")
+	run("runsim", "-engine", "giraph", "-algorithm", "pagerank",
+		"-workers", "2", "-out", diffBaseDir)
+	noisyDir := filepath.Join(dir, "run-noisy")
+	run("runsim", "-engine", "giraph", "-algorithm", "pagerank",
+		"-workers", "2", "-noise", "7.5", "-out", noisyDir)
+	storeDir := filepath.Join(dir, "profiles")
+	archOut := run("grade10", "-run", diffBaseDir, "-store", storeDir, "-run-label", "baseline")
+	if !strings.Contains(archOut, "archived run ") {
+		t.Fatalf("no archive confirmation:\n%s", archOut)
+	}
+	run("grade10", "-run", noisyDir, "-store", storeDir, "-run-label", "noisy")
+
+	idOf := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "archived run ") {
+				return strings.Fields(line)[2]
+			}
+		}
+		t.Fatalf("no archived run line in:\n%s", out)
+		return ""
+	}
+	baseID := idOf(archOut)
+	// Re-archiving the same run is idempotent: same content ID, no new entry.
+	noisyID := idOf(run("grade10", "-run", noisyDir, "-store", storeDir, "-run-label", "noisy"))
+
+	deltaFile := filepath.Join(dir, "delta.json")
+	diffText := run("grade10", "-store", storeDir, "-diff-out", deltaFile,
+		"-diff", baseID, noisyID)
+	for _, want := range []string{
+		"verdict: REGRESSED",
+		"top regression: ", "/compute/thread × cpu",
+	} {
+		if !strings.Contains(diffText, want) {
+			t.Fatalf("diff text missing %q:\n%s", want, diffText)
+		}
+	}
+	delta, err := os.ReadFile(deltaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"verdict": "regressed"`, `"resource": "cpu"`, "/compute/thread",
+	} {
+		if !strings.Contains(string(delta), want) {
+			t.Fatalf("delta JSON missing %q", want)
+		}
+	}
+
+	// Diff output is byte-identical regardless of prefix resolution, and
+	// -fail-on-regress flips the exit status to 3.
+	diffText2 := run("grade10", "-store", storeDir, "-diff", baseID[:6], noisyID[:6])
+	if stripDiag(diffText2) != stripDiag(diffText) {
+		t.Fatal("diff by prefix differs from diff by full ID")
+	}
+	cmd := exec.Command(bin("grade10"), "-store", storeDir, "-fail-on-regress",
+		"-diff", baseID, noisyID)
+	if err := cmd.Run(); err == nil {
+		t.Fatal("-fail-on-regress exited 0 on a regression")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("-fail-on-regress exit: %v, want status 3", err)
+	}
 }

@@ -23,7 +23,7 @@ var logger *slog.Logger
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, or all")
+		exp       = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, regress, or all")
 		csvOut    = flag.String("csv", "", "fig3: also write the series CSV to this file")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
@@ -101,6 +101,18 @@ func main() {
 			return err
 		}
 		experiments.PrintFig6(os.Stdout, r)
+		return nil
+	})
+	run("regress", func() error {
+		r, err := experiments.Regress()
+		if err != nil {
+			return err
+		}
+		experiments.PrintRegress(os.Stdout, r)
+		if r.Report.Verdict != "regressed" || !r.Localized {
+			return fmt.Errorf("watchdog failed: verdict=%s localized=%v (want regressed + compute/thread × cpu)",
+				r.Report.Verdict, r.Localized)
+		}
 		return nil
 	})
 }

@@ -11,6 +11,8 @@
 //	grade10 -run run/ -dump-models giraph.json
 //	grade10 -run run/ -models custom.json
 //	grade10 -run run/ -trace trace.json   # open in ui.perfetto.dev
+//	grade10 -run run/ -store profiles/ -run-label baseline
+//	grade10 -store profiles/ -diff runA runB -diff-out delta.json
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"grade10/internal/enginelog"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
+	"grade10/internal/profdiff"
+	"grade10/internal/profstore"
 	"grade10/internal/report"
 	"grade10/internal/rundir"
 	"grade10/internal/vtime"
@@ -40,6 +44,15 @@ func main() {
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); output is identical for every value")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (pipeline self-trace + job profile) to this path")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+
+		storeDir = flag.String("store", "", "profile archive directory: archive this analysis (with -run) or serve -diff")
+		storeMax = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
+		runLabel = flag.String("run-label", "", "free-form label recorded with the archived run")
+
+		diffMode      = flag.Bool("diff", false, "diff two archived runs: grade10 -store DIR -diff RUN_A RUN_B (IDs or unique prefixes)")
+		diffOut       = flag.String("diff-out", "", "also write the diff report as JSON to this file")
+		diffThreshold = flag.Float64("diff-threshold", 0, "makespan fraction separating neutral from improved/regressed (default 0.05)")
+		failOnRegress = flag.Bool("fail-on-regress", false, "exit with status 3 when the diff verdict is regressed")
 	)
 	flag.Parse()
 	var err error
@@ -47,6 +60,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
 		os.Exit(2)
+	}
+	if *diffMode {
+		if *storeDir == "" || flag.NArg() != 2 {
+			logger.Error("-diff needs -store DIR and exactly two run IDs: grade10 -store DIR -diff RUN_A RUN_B")
+			os.Exit(2)
+		}
+		runDiff(*storeDir, *storeMax, flag.Arg(0), flag.Arg(1), *diffThreshold, *diffOut, *failOnRegress)
+		return
 	}
 	if *runDir == "" {
 		logger.Error("-run is required")
@@ -123,6 +144,65 @@ func main() {
 			fail(err)
 		}
 		logger.Info("wrote trace", "path", *traceOut, "spans", len(tracer.Spans()))
+	}
+	if *storeDir != "" {
+		store, err := profstore.Open(*storeDir, profstore.Options{MaxRuns: *storeMax})
+		if err != nil {
+			fail(err)
+		}
+		rec := profstore.BuildRecord(run.Info, out)
+		rec.Label = *runLabel
+		meta, evicted, err := store.Put(rec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\narchived run %s (%d runs stored)\n", meta.ID, store.Len())
+		for _, id := range evicted {
+			logger.Info("evicted oldest run", "id", id)
+		}
+	}
+}
+
+// runDiff loads two archived runs (by ID or unique prefix), diffs them, and
+// writes the ranked text report to stdout plus optional JSON. Exit status 3
+// flags a regression when -fail-on-regress is set.
+func runDiff(dir string, maxRuns int, idA, idB string, threshold float64, jsonOut string, failOnRegress bool) {
+	store, err := profstore.Open(dir, profstore.Options{MaxRuns: maxRuns})
+	if err != nil {
+		fail(err)
+	}
+	a, err := store.Get(idA)
+	if err != nil {
+		fail(err)
+	}
+	b, err := store.Get(idB)
+	if err != nil {
+		fail(err)
+	}
+	cfg := profdiff.Config{RegressThreshold: threshold, ImproveThreshold: threshold}
+	rep, err := profdiff.Diff(a, b, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := profdiff.WriteText(os.Stdout, rep); err != nil {
+		fail(err)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := profdiff.WriteJSON(f, rep); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		logger.Info("wrote " + jsonOut)
+	}
+	if failOnRegress && rep.Verdict == profdiff.Regressed {
+		logger.Error("regression detected", "a", rep.A.ID, "b", rep.B.ID)
+		os.Exit(3)
 	}
 }
 

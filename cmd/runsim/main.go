@@ -52,6 +52,7 @@ func main() {
 		workers   = flag.Int("workers", 4, "worker/machine count")
 		threads   = flag.Int("threads", 8, "compute threads per worker")
 		scale     = flag.Float64("scale", 1, "compute cost scale factor")
+		noise     = flag.Float64("noise", -1, "OS background-noise cores per machine (cluster.Noise); -1 keeps the engine default, larger values inject a CPU slowdown for regression experiments")
 		bug       = flag.Bool("bug", false, "powergraph: inject the §IV-D synchronization bug")
 		interval  = flag.Duration("interval", 0, "monitoring interval (virtual; default 50ms)")
 		out       = flag.String("out", "", "output run directory (required)")
@@ -101,6 +102,9 @@ func main() {
 		cfg.ThreadsPerWorker = *threads
 		cfg.Parallelism = *parallel
 		cfg.Tracer = tracer
+		if *noise >= 0 {
+			cfg.OSNoiseCores = *noise
+		}
 		if *serveAddr != "" {
 			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
 			if err != nil {
@@ -135,6 +139,9 @@ func main() {
 		cfg.ThreadsPerWorker = *threads
 		cfg.Parallelism = *parallel
 		cfg.Tracer = tracer
+		if *noise >= 0 {
+			cfg.OSNoiseCores = *noise
+		}
 		if *serveAddr != "" {
 			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
 			if err != nil {

@@ -36,6 +36,8 @@ import (
 
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
+	"grade10/internal/profdiff"
+	"grade10/internal/profstore"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
 	"grade10/internal/vtime"
@@ -56,6 +58,9 @@ func main() {
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		stale     = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
+		storeDir  = flag.String("store", "", "profile archive directory: serve /runs and /diff, and archive this run once finalized")
+		storeMax  = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
+		runLabel  = flag.String("run-label", "", "free-form label recorded with the archived run")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
@@ -107,9 +112,12 @@ func main() {
 		engine       *stream.Engine
 		pendingLines []string
 		pendingRows  []rundir.MonitoringRow
+		liveSrv      *stream.Server
+		runInfo      rundir.Info
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
+			runInfo = info
 			tracer := obs.NewTracer()
 			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, tracer)
 			if err != nil {
@@ -128,6 +136,13 @@ func main() {
 				srv.EnablePprof()
 			}
 			srv.SetStaleThreshold(*stale)
+			if *storeDir != "" {
+				store, err := profstore.Open(*storeDir, profstore.Options{MaxRuns: *storeMax})
+				if err != nil {
+					fail(err)
+				}
+				srv.SetStore(store, profdiff.Config{})
+			}
 			// The registry feeds /metrics with the tracer bridge (per-stage
 			// histograms), Go runtime gauges, and the engine's staleness and
 			// parser-health gauges.
@@ -135,7 +150,9 @@ func main() {
 			obs.RegisterRuntime(reg)
 			obs.BridgeTracer(reg, tracer)
 			srv.RegisterEngineMetrics(reg)
+			srv.RegisterStoreMetrics(reg)
 			srv.SetRegistry(reg)
+			liveSrv = srv
 			live := http.Handler(srv)
 			handler.Store(&live)
 			logger.Info(fmt.Sprintf("%s run of %q on %d workers; live endpoints up",
@@ -175,6 +192,21 @@ func main() {
 		logger.Info("exact report ready at /report")
 	} else {
 		logger.Info("bounded mode: live profile at /profile, no exact /report")
+	}
+	// Archive the finalized profile so /runs and /diff can compare this run
+	// against earlier ones; requires the exact output (retain mode).
+	if *storeDir != "" && liveSrv != nil {
+		if out == nil {
+			logger.Info("bounded mode: nothing archived (no exact profile)")
+		} else {
+			rec := profstore.BuildRecord(runInfo, out)
+			rec.Label = *runLabel
+			meta, evicted, err := liveSrv.ArchiveRecord(rec)
+			if err != nil {
+				fail(err)
+			}
+			logger.Info("archived run", "id", meta.ID, "evicted", len(evicted))
+		}
 	}
 
 	<-stop

@@ -21,8 +21,16 @@ import (
 	"grade10/internal/vtime"
 )
 
+// InfoVersion is the current run.json schema version. Files written before
+// versioning existed carry no field and load as version 1.
+const InfoVersion = 1
+
 // Info is the run metadata cmd/grade10 needs to rebuild the models.
 type Info struct {
+	// Version is the run.json schema version (see InfoVersion). A missing
+	// field is treated as 1 on load; versions newer than InfoVersion are
+	// rejected so old readers fail loudly instead of misreading new runs.
+	Version int `json:"version,omitempty"`
 	// Engine is "giraph" or "powergraph".
 	Engine string `json:"engine"`
 	// Job is the root phase name (program name).
@@ -59,6 +67,9 @@ func Save(dir string, run *Run) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	if run.Info.Version == 0 {
+		run.Info.Version = InfoVersion
+	}
 	meta, err := json.MarshalIndent(run.Info, "", "  ")
 	if err != nil {
 		return err
@@ -94,6 +105,13 @@ func Load(dir string) (*Run, error) {
 	run := &Run{}
 	if err := json.Unmarshal(meta, &run.Info); err != nil {
 		return nil, fmt.Errorf("rundir: parsing %s: %w", infoFile, err)
+	}
+	if run.Info.Version == 0 {
+		run.Info.Version = 1 // pre-versioning run.json
+	}
+	if run.Info.Version > InfoVersion {
+		return nil, fmt.Errorf("rundir: %s schema version %d is newer than supported version %d",
+			infoFile, run.Info.Version, InfoVersion)
 	}
 	lf, err := os.Open(filepath.Join(dir, logFile))
 	if err != nil {

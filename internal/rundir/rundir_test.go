@@ -2,6 +2,8 @@ package rundir
 
 import (
 	"bytes"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -78,6 +80,49 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(cpu.Samples.Samples) != 2 || cpu.Samples.Samples[1].Avg != 1.25 {
 		t.Fatalf("cpu samples %+v", cpu.Samples.Samples)
+	}
+}
+
+func TestInfoVersionCompat(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run := sampleRun()
+	if err := Save(dir, run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Info.Version != InfoVersion {
+		t.Fatalf("Save stamped version %d, want %d", run.Info.Version, InfoVersion)
+	}
+
+	// Forward direction: a pre-versioning run.json (no version field, as all
+	// runs before the field existed) loads as version 1.
+	meta, err := os.ReadFile(filepath.Join(dir, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := strings.Replace(string(meta),
+		fmt.Sprintf("\"version\": %d,\n  ", InfoVersion), "", 1)
+	if legacy == string(meta) {
+		t.Fatal("fixture did not strip the version field")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Info.Version != 1 {
+		t.Fatalf("legacy run.json loaded as version %d, want 1", back.Info.Version)
+	}
+
+	// Backward direction: a run.json from a future schema is rejected.
+	future := strings.Replace(string(meta),
+		fmt.Sprintf("\"version\": %d", InfoVersion), "\"version\": 99", 1)
+	if err := os.WriteFile(filepath.Join(dir, "run.json"), []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future run.json: err = %v", err)
 	}
 }
 

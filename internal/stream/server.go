@@ -37,6 +37,9 @@ type Server struct {
 	staleAfter time.Duration
 	// registry, when set, has its families appended to /metrics.
 	registry *obs.Registry
+	// store, when set via SetStore, serves the profile archive endpoints
+	// (/runs, /runs/{id}, /diff) and the watchdog gauges.
+	store *storeState
 
 	mu         sync.Mutex
 	reportText []byte // cached render of the exact final report
@@ -136,6 +139,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "grade10 live characterization")
 	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /trace /healthz")
+	if s.store != nil {
+		fmt.Fprintln(w, "archive: /runs /runs/{id} /diff?a=&b=[&format=text]")
+	}
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
