@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"grade10/internal/dataflowsim"
 	"grade10/internal/enginelog"
 	"grade10/internal/experiments"
+	"grade10/internal/explain"
 	"grade10/internal/giraphsim"
 	grade10lib "grade10/internal/grade10"
 	"grade10/internal/graph"
@@ -471,6 +473,66 @@ func BenchmarkAttributionParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAttributionProvenance measures the cost of provenance capture:
+// the same attribution pass with the explain recorder off (nil — the default
+// for every caller that did not opt in) and on. The off case must track
+// BenchmarkAttribution; the on case pays for the columnar shard appends.
+func BenchmarkAttributionProvenance(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	leaves := tr.Leaves()
+	b.Run("recorder=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+				slices, 0, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+				slices, 0, nil, explain.NewRecorder(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestAttributionNilRecorderZeroAlloc is the zero-overhead guard for the
+// provenance hooks: attribution with a nil recorder must allocate exactly
+// what the pre-provenance baseline (AttributeN) allocates — the hooks are
+// nil-guarded branches, never allocation sites.
+func TestAttributionNilRecorderZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full attribution pass; skipped with -short")
+	}
+	tr, rt, rules, slices := analyzerFixture(t)
+	// A GC cycle mid-measurement flushes attribution's scratch pools and
+	// shows up as phantom allocations; hold it off while comparing.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	base := func() {
+		if _, err := attribution.AttributeN(tr, rt, rules, slices, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mirror AttributeN exactly (including the tr.Leaves() call) so the only
+	// difference is the explicit nil recorder argument.
+	withNil := func() {
+		if _, err := attribution.AttributeWindowProv(tr, tr.Leaves(), rt, rules,
+			slices, 1, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base()
+	withNil() // warm the scratch pools on both paths before measuring
+	baseline := testing.AllocsPerRun(5, base)
+	nilRec := testing.AllocsPerRun(5, withNil)
+	if added := nilRec - baseline; added > 0 {
+		t.Fatalf("nil recorder added %.1f allocs/op over baseline (%.1f vs %.1f)",
+			added, nilRec, baseline)
+	}
+}
+
 // BenchmarkIssueReplayParallel measures the §III-F candidate replays — one
 // full trace re-simulation per bottleneck-removal or imbalance candidate —
 // distributed over the worker pool.
@@ -568,6 +630,31 @@ func TestWriteBenchPipeline(t *testing.T) {
 		return s
 	}
 
+	// timeConfigs times arbitrary labeled configurations of one stage, with
+	// speedup relative to baseKey (timeStage is the workers=N specialization).
+	type config struct {
+		key string
+		run func()
+	}
+	timeConfigs := func(name, baseKey string, configs []config) stage {
+		s := stage{Name: name, NsPerOp: map[string]float64{}, Speedup: map[string]float64{}}
+		for _, c := range configs {
+			c := c
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.run()
+				}
+			})
+			s.NsPerOp[c.key] = float64(r.NsPerOp())
+		}
+		base := s.NsPerOp[baseKey]
+		for k, ns := range s.NsPerOp {
+			s.Speedup[k] = base / ns
+		}
+		return s
+	}
+
+	leaves := tr.Leaves()
 	stages := []stage{
 		timeStage("attribution", func(w int) {
 			if _, err := attribution.AttributeN(tr, rt, rules, slices, w); err != nil {
@@ -578,6 +665,22 @@ func TestWriteBenchPipeline(t *testing.T) {
 			cfg := issues.DefaultConfig()
 			cfg.Parallelism = w
 			issues.Analyze(prof, btl, cfg)
+		}),
+		// Provenance capture cost: nil recorder (the default) vs the explain
+		// recorder. Speedup under 1x on recorder=on is the price of evidence.
+		timeConfigs("attribution_provenance", "recorder=off", []config{
+			{"recorder=off", func() {
+				if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+					slices, 0, nil, nil); err != nil {
+					t.Fatal(err)
+				}
+			}},
+			{"recorder=on", func() {
+				if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+					slices, 0, nil, explain.NewRecorder(0)); err != nil {
+					t.Fatal(err)
+				}
+			}},
 		}),
 	}
 

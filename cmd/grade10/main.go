@@ -11,6 +11,7 @@
 //	grade10 -run run/ -dump-models giraph.json
 //	grade10 -run run/ -models custom.json
 //	grade10 -run run/ -trace trace.json   # open in ui.perfetto.dev
+//	grade10 -run run/ -explain 'phase=/pr/execute/superstep/worker/compute/thread machine=0 resource=cpu'
 //	grade10 -run run/ -store profiles/ -run-label baseline
 //	grade10 -store profiles/ -diff runA runB -diff-out delta.json
 package main
@@ -22,6 +23,7 @@ import (
 	"os"
 
 	"grade10/internal/enginelog"
+	"grade10/internal/explain"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
 	"grade10/internal/profdiff"
@@ -42,6 +44,8 @@ func main() {
 		modelsIn  = flag.String("models", "", "load models from this JSON file instead of the built-ins")
 		modelsOut = flag.String("dump-models", "", "write the models used to this JSON file")
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); output is identical for every value")
+		explainQ  = flag.String("explain", "", "provenance query: 'phase=<type-path> machine=<m> resource=<name> [t0..t1]'; prints the derivation chain instead of the report")
+		format    = flag.String("format", "text", "-explain output format: text or json")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (pipeline self-trace + job profile) to this path")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 
@@ -105,16 +109,50 @@ func main() {
 	if *timeslice > 0 {
 		ts = vtime.Duration(*timeslice)
 	}
-	out, err := grade10.Characterize(grade10.Input{
+	in := grade10.Input{
 		Log:         log,
 		Monitoring:  run.Monitoring,
 		Models:      models,
 		Timeslice:   ts,
 		Parallelism: *parallel,
 		Tracer:      tracer,
-	})
+	}
+	var query explain.Query
+	var rec *explain.Recorder
+	if *explainQ != "" {
+		// Parse before the (expensive) pipeline runs so a typo fails fast.
+		query, err = explain.ParseQuery(*explainQ)
+		if err != nil {
+			logger.Error(err.Error())
+			os.Exit(2)
+		}
+		if *format != "text" && *format != "json" {
+			logger.Error("-format must be text or json")
+			os.Exit(2)
+		}
+		rec = explain.NewRecorder(0)
+		in.Recorder = rec
+	}
+	out, err := grade10.Characterize(in)
 	if err != nil {
 		fail(err)
+	}
+
+	if *explainQ != "" {
+		ex := explain.NewExplainer(out.Profile, rec)
+		d, err := ex.Explain(query)
+		if err != nil {
+			fail(err)
+		}
+		if *format == "json" {
+			err = d.WriteJSON(os.Stdout)
+		} else {
+			err = d.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if err := report.WriteAll(os.Stdout, out); err != nil {

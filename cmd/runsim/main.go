@@ -60,6 +60,7 @@ func main() {
 		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
 		parallel  = flag.Int("parallelism", 0, "host-side precompute/analysis worker count (0 = GOMAXPROCS); logs and results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "with -serve: expose net/http/pprof under /debug/pprof/")
+		explainOn = flag.Bool("explain", false, "with -serve: capture attribution provenance and serve /explain queries")
 		traceOut  = flag.String("trace", "", "write the simulator/analysis self-trace as Chrome trace-event JSON to this path")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
@@ -106,7 +107,7 @@ func main() {
 			cfg.OSNoiseCores = *noise
 		}
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
+			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -143,7 +144,7 @@ func main() {
 			cfg.OSNoiseCores = *noise
 		}
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, tracer)
+			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -210,7 +211,7 @@ type liveServe struct {
 // the bundle whose tap hook goes into the simulator's Config.Tee. The
 // tracer (which may be nil) is shared with the simulator, so one -trace file
 // interleaves engine supersteps with analysis window flushes.
-func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn bool, tracer *obs.Tracer) (*liveServe, error) {
+func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn, explainOn bool, tracer *obs.Tracer) (*liveServe, error) {
 	models, err := grade10.ModelsForEngine(engineName, grade10.ModelParams{
 		Job:              job,
 		Cores:            m.Cores,
@@ -231,6 +232,7 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 		RetainForFinal:    true,
 		Parallelism:       parallel,
 		Tracer:            tracer,
+		Explain:           explainOn,
 	})
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@
 //	curl localhost:7070/metrics      # Prometheus text format
 //	curl localhost:7070/trace        # Chrome trace-event JSON (Perfetto)
 //	curl localhost:7070/report       # final report (503 until the run ends)
+//	curl localhost:7070/explain      # -explain: provenance query ?q=...
 //	curl localhost:7070/healthz      # 503 + reason when ingest goes stale
 //
 // The service is robust to producers in progress: files that do not exist
@@ -57,6 +58,7 @@ func main() {
 		bounded   = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
 		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		explainOn = flag.Bool("explain", false, "capture attribution provenance and serve /explain queries")
 		stale     = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
 		storeDir  = flag.String("store", "", "profile archive directory: serve /runs and /diff, and archive this run once finalized")
 		storeMax  = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
@@ -119,7 +121,7 @@ func main() {
 		Info: func(info rundir.Info) {
 			runInfo = info
 			tracer := obs.NewTracer()
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, tracer)
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -218,7 +220,7 @@ func main() {
 // buildEngine resolves the run's models through the same entry point as the
 // batch CLI and sizes the streaming engine from the run metadata. The tracer
 // self-traces window flushes and the final batch pipeline, feeding /trace.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, tracer *obs.Tracer) (*stream.Engine, error) {
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -241,6 +243,7 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		RetainForFinal:    !bounded,
 		Parallelism:       parallel,
 		Tracer:            tracer,
+		Explain:           explainOn,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"grade10/internal/cluster"
+	"grade10/internal/explain"
 	"grade10/internal/giraphsim"
 	"grade10/internal/grade10"
 	"grade10/internal/graph"
@@ -60,6 +61,77 @@ func TestPipelineParallelReportBitIdentical(t *testing.T) {
 	for _, workers := range []int{0, 2, 8} {
 		if par := render(workers); !bytes.Equal(serial, par) {
 			t.Fatalf("parallelism %d: report differs from serial run", workers)
+		}
+	}
+}
+
+// TestExplainParallelBitIdentical extends the guard to the provenance layer:
+// the explain engine's derivation chains (text and JSON) must be
+// byte-identical whatever parallelism the attribution fan-out ran at — the
+// per-instance provenance shards are appended serially by each instance's
+// job and merged in instance order, so worker count must never reorder or
+// reshape the evidence.
+func TestExplainParallelBitIdentical(t *testing.T) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "det", Gen: func() *graph.Graph { return graph.RMAT(10, 8, 42) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := cluster.Monitor(run.Result.Cluster, run.Result.Start, run.Result.End,
+		50*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"phase=/pagerank/execute/superstep/worker/compute/thread resource=cpu",
+		"resource=cpu machine=0",
+		"phase=/pagerank/execute/superstep/worker/compute/thread",
+	}
+	render := func(parallelism int) []byte {
+		t.Helper()
+		rec := explain.NewRecorder(0)
+		out, err := grade10.Characterize(grade10.Input{
+			Log:         run.Result.Log,
+			Monitoring:  mon,
+			Models:      run.Models,
+			Parallelism: parallelism,
+			Recorder:    rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := explain.NewExplainer(out.Profile, rec)
+		var buf bytes.Buffer
+		for _, qs := range queries {
+			q, err := explain.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := ex.Explain(q)
+			if err != nil {
+				t.Fatalf("query %q: %v", qs, err)
+			}
+			if err := d.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("empty serial derivation")
+	}
+	for _, workers := range []int{0, 2, 8} {
+		if par := render(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("parallelism %d: explain output differs from serial run", workers)
 		}
 	}
 }

@@ -23,7 +23,6 @@ import (
 	"grade10/internal/core"
 	"grade10/internal/metrics"
 	"grade10/internal/obs"
-	"grade10/internal/par"
 	"grade10/internal/vtime"
 )
 
@@ -181,6 +180,10 @@ func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.Re
 	return AttributeWindowTraced(tr, leaves, rt, rules, slices, workers, nil)
 }
 
+// errEmptySpan is the shared empty-window failure of the Attribute* entry
+// points.
+var errEmptySpan = fmt.Errorf("attribution: empty timeslice span")
+
 // AttributeWindowTraced is AttributeWindowN with self-tracing: each
 // per-instance attribution job and its inner upsampling step emit one span to
 // tracer, tagged with the worker lane that ran it and the virtual-time window
@@ -188,38 +191,12 @@ func AttributeWindowN(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.Re
 // this hot path (every span call is a nil no-op).
 func AttributeWindowTraced(tr *core.ExecutionTrace, leaves []*core.Phase, rt *core.ResourceTrace,
 	rules *core.RuleSet, slices core.Timeslices, workers int, tracer *obs.Tracer) (*Profile, error) {
-	if slices.Count == 0 {
-		return nil, fmt.Errorf("attribution: empty timeslice span")
-	}
-	instances := rt.Instances()
-	prof := &Profile{Trace: tr, Slices: slices, Rules: rules,
-		Instances: make([]*InstanceProfile, 0, len(instances)),
-		byKey:     make(map[string]*InstanceProfile, len(instances))}
-	results := make([]*InstanceProfile, len(instances))
-	errs := make([]error, len(instances))
-	par.DoWithWorker(len(instances), workers, func(worker, i int) {
-		span := tracer.StartSpan("attribute-instance", worker)
-		if tracer.Enabled() {
-			// Key() formats a string; only pay for it when tracing is on.
-			span.SetDetail(instances[i].Key())
-			span.SetItems(int64(slices.Count))
-			span.SetWindow(int64(slices.Start), int64(slices.End))
-		}
-		results[i], errs[i] = attributeInstance(instances[i], leaves, rules, slices, tracer, worker)
-		span.End()
-	})
-	for i, ri := range instances {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		prof.Instances = append(prof.Instances, results[i])
-		prof.byKey[ri.Key()] = results[i]
-	}
-	return prof, nil
+	return AttributeWindowProv(tr, leaves, rt, rules, slices, workers, tracer, nil)
 }
 
 func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
-	rules *core.RuleSet, slices core.Timeslices, tracer *obs.Tracer, worker int) (*InstanceProfile, error) {
+	rules *core.RuleSet, slices core.Timeslices, tracer *obs.Tracer, worker int,
+	rec InstanceRecorder) (*InstanceProfile, error) {
 	ip := &InstanceProfile{
 		Instance:       ri,
 		Consumption:    make([]float64, slices.Count),
@@ -261,6 +238,9 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 				ip.VariableWeight[k] += rule.Amount * a
 			}
 			perSlice[k] = append(perSlice[k], competitorActivity{c, a})
+			if rec != nil {
+				rec.Demand(k, leaf, rule, a)
+			}
 		}
 	}
 
@@ -271,14 +251,14 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 		uspan.SetDetail(ri.Key())
 		uspan.SetItems(int64(len(ri.Samples.Samples)))
 	}
-	if err := upsample(ip, ri, slices); err != nil {
+	if err := upsample(ip, ri, slices, rec); err != nil {
 		return nil, err
 	}
 	uspan.End()
 
 	// Step 3: attribute per-slice consumption to phases (§III-D3).
 	for k := 0; k < slices.Count; k++ {
-		attributeSlice(ip, perSlice[k], k)
+		attributeSlice(ip, perSlice[k], k, rec)
 	}
 
 	// Keep only phases that received any consumption.
@@ -333,7 +313,8 @@ func (s *upsampleScratch) views(n int) (dur, capAmt, knownAmt, varW, alloc, head
 // proportion to estimated demand, never exceeding the smaller of demand and
 // capacity, with the excess over Exact demand load-balanced across Variable
 // demand (§III-D2).
-func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices) error {
+func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices,
+	rec InstanceRecorder) error {
 	capUnit := ri.Resource.Capacity
 	scratch := scratchPool.Get().(*upsampleScratch)
 	defer scratchPool.Put(scratch)
@@ -420,6 +401,9 @@ func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timesl
 		for i := 0; i < n; i++ {
 			if dur[i] > 0 {
 				ip.Consumption[first+i] += alloc[i] / slices.SliceSeconds(first+i)
+				if rec != nil {
+					rec.Upsample(first+i, w0, w1, smp.Avg, alloc[i])
+				}
 			}
 		}
 	}
@@ -466,7 +450,8 @@ func waterFill(alloc []float64, amount float64, weights, ceil []float64) float64
 // attributeSlice splits the slice's upsampled consumption among the active
 // phases: Exact phases proportionally up to their demand, remainder across
 // Variable phases by weight (§III-D3).
-func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int) {
+func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int,
+	rec InstanceRecorder) {
 	u := ip.Consumption[k]
 	if u <= epsilon || len(active) == 0 {
 		if u > epsilon {
@@ -490,6 +475,9 @@ func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int) {
 	}
 	givenExact := math.Min(u, totalExact)
 	remainder := u - givenExact
+	if rec != nil {
+		rec.SliceSplit(k, u, totalExact, totalVarW, exactScale, remainder)
+	}
 	for _, ca := range active {
 		var share float64
 		switch ca.c.rule.Kind {
@@ -502,6 +490,9 @@ func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int) {
 		}
 		if share > 0 {
 			ca.c.usage.Rates[k-ca.c.usage.First] += share
+		}
+		if rec != nil {
+			rec.Share(k, ca.c.phase, ca.c.rule, ca.activity, share)
 		}
 	}
 	if totalVarW == 0 && remainder > epsilon {

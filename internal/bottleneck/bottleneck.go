@@ -80,6 +80,14 @@ type PhaseBottleneck struct {
 	Time vtime.Duration
 	// Slices lists the affected timeslices (consumable kinds only).
 	Slices []int
+	// Intervals, EvStart and EvEnd summarize the triggering evidence: the
+	// number of contiguous evidence intervals (stalls for Blocking, slice
+	// runs for consumable kinds) and the virtual-time bounds of the first
+	// and last of them. Explain queries over [EvStart, EvEnd) reproduce the
+	// verdict's inputs.
+	Intervals int
+	EvStart   vtime.Time
+	EvEnd     vtime.Time
 }
 
 // Report is the detection result.
@@ -161,10 +169,12 @@ func detectBlocking(prof *attribution.Profile, rep *Report, windowed bool) {
 					continue
 				}
 			}
-			rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+			b := &PhaseBottleneck{
 				Phase: p, Resource: name, Machine: core.GlobalMachine,
 				Kind: Blocking, Time: t,
-			})
+			}
+			b.Intervals, b.EvStart, b.EvEnd = stallEvidence(p, name, w0, w1, windowed)
+			rep.Bottlenecks = append(rep.Bottlenecks, b)
 		}
 	})
 }
@@ -189,6 +199,49 @@ func clippedBlockedTime(p *core.Phase, resource string, t0, t1 vtime.Time) vtime
 		}
 	}
 	return total
+}
+
+// stallEvidence counts the phase's stall intervals on one resource (clipped
+// to [t0, t1) when windowed) and returns the time bounds of the first and
+// last of them.
+func stallEvidence(p *core.Phase, resource string, t0, t1 vtime.Time, windowed bool) (n int, start, end vtime.Time) {
+	for _, b := range p.Blocked {
+		if b.Resource != resource {
+			continue
+		}
+		s, e := b.Start, b.End
+		if windowed {
+			s, e = vtime.Max(s, t0), vtime.Min(e, t1)
+		}
+		if e <= s {
+			continue
+		}
+		if n == 0 || s < start {
+			start = s
+		}
+		if e > end {
+			end = e
+		}
+		n++
+	}
+	return n, start, end
+}
+
+// sliceEvidence summarizes a sorted evidence-slice list: the number of
+// contiguous slice runs and the virtual-time bounds of the whole set.
+func sliceEvidence(slices core.Timeslices, ks []int) (runs int, start, end vtime.Time) {
+	if len(ks) == 0 {
+		return 0, 0, 0
+	}
+	start, _ = slices.Bounds(ks[0])
+	_, end = slices.Bounds(ks[len(ks)-1])
+	runs = 1
+	for i := 1; i < len(ks); i++ {
+		if ks[i] != ks[i-1]+1 {
+			runs++
+		}
+	}
+	return runs, start, end
 }
 
 // detectConsumable finds saturation and exact-limit bottlenecks from the
@@ -237,18 +290,22 @@ func detectConsumable(prof *attribution.Profile, cfg Config, rep *Report) {
 				}
 			}
 			if len(satSlices) > 0 {
-				rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+				b := &PhaseBottleneck{
 					Phase: usage.Phase, Resource: ip.Instance.Resource.Name,
 					Machine: ip.Instance.Machine, Kind: Saturation,
 					Time: satTime, Slices: satSlices,
-				})
+				}
+				b.Intervals, b.EvStart, b.EvEnd = sliceEvidence(slices, satSlices)
+				rep.Bottlenecks = append(rep.Bottlenecks, b)
 			}
 			if len(exactSlices) > 0 {
-				rep.Bottlenecks = append(rep.Bottlenecks, &PhaseBottleneck{
+				b := &PhaseBottleneck{
 					Phase: usage.Phase, Resource: ip.Instance.Resource.Name,
 					Machine: ip.Instance.Machine, Kind: ExactLimit,
 					Time: exactTime, Slices: exactSlices,
-				})
+				}
+				b.Intervals, b.EvStart, b.EvEnd = sliceEvidence(slices, exactSlices)
+				rep.Bottlenecks = append(rep.Bottlenecks, b)
 			}
 		}
 	}

@@ -1,0 +1,200 @@
+package explain
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+// Query selects the profile cells to explain:
+//
+//	phase=<type-path> machine=<m> resource=<name> [t0..t1]
+//
+// Tokens are whitespace-separated. `phase` is a phase type path from the
+// execution model (e.g. /pr/execute/superstep/worker/compute/thread);
+// `machine` is a machine index or the word "global"; `resource` a resource
+// name from the model; the optional bracketed range restricts to virtual
+// times [t0, t1) with each endpoint a number plus unit suffix
+// (ns, us, µs, ms, s, m). At least one of phase and resource is required;
+// unset machine means all machines; unset range means the whole span.
+type Query struct {
+	Phase    string // type path, "" = all phases
+	Resource string // resource name, "" = all resources
+	// Machine is the machine filter; HasMachine distinguishes machine=0
+	// from unset. core.GlobalMachine selects cluster-global instances.
+	Machine    int
+	HasMachine bool
+	// T0, T1 bound the explained window; HasRange marks them set.
+	T0, T1   vtime.Time
+	HasRange bool
+}
+
+// ParseError is the typed failure of ParseQuery; Token is the offending
+// input fragment.
+type ParseError struct {
+	Token  string
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	if e.Token == "" {
+		return "explain: bad query: " + e.Reason
+	}
+	return fmt.Sprintf("explain: bad query token %q: %s", e.Token, e.Reason)
+}
+
+func parseErr(token, format string, args ...any) error {
+	return &ParseError{Token: token, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ParseQuery parses the explain query grammar. It returns *ParseError for
+// every malformed input and never panics (fuzzed in query_fuzz_test.go).
+func ParseQuery(s string) (Query, error) {
+	var q Query
+	seen := map[string]bool{}
+	for _, tok := range strings.Fields(s) {
+		if strings.HasPrefix(tok, "[") {
+			if seen["range"] {
+				return Query{}, parseErr(tok, "duplicate time range")
+			}
+			seen["range"] = true
+			if err := parseRange(tok, &q); err != nil {
+				return Query{}, err
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Query{}, parseErr(tok, "expected key=value or [t0..t1]")
+		}
+		if val == "" {
+			return Query{}, parseErr(tok, "empty value")
+		}
+		if seen[key] {
+			return Query{}, parseErr(tok, "duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "phase":
+			if !strings.HasPrefix(val, "/") {
+				return Query{}, parseErr(tok, "phase type path must start with /")
+			}
+			if strings.Contains(val, "//") || strings.HasSuffix(val, "/") {
+				return Query{}, parseErr(tok, "malformed phase type path")
+			}
+			q.Phase = val
+		case "resource":
+			q.Resource = val
+		case "machine":
+			if val == "global" {
+				q.Machine = core.GlobalMachine
+			} else {
+				m, err := strconv.Atoi(val)
+				if err != nil || m < 0 {
+					return Query{}, parseErr(tok, "machine must be a non-negative integer or \"global\"")
+				}
+				q.Machine = m
+			}
+			q.HasMachine = true
+		default:
+			return Query{}, parseErr(tok, "unknown key %q (want phase, machine, resource)", key)
+		}
+	}
+	if q.Phase == "" && q.Resource == "" {
+		return Query{}, parseErr("", "need at least one of phase= or resource=")
+	}
+	return q, nil
+}
+
+func parseRange(tok string, q *Query) error {
+	if !strings.HasSuffix(tok, "]") {
+		return parseErr(tok, "unterminated time range (want [t0..t1])")
+	}
+	body := tok[1 : len(tok)-1]
+	lo, hi, ok := strings.Cut(body, "..")
+	if !ok {
+		return parseErr(tok, "time range needs t0..t1")
+	}
+	t0, err := parseTime(lo)
+	if err != nil {
+		return parseErr(tok, "bad range start: %v", err)
+	}
+	t1, err := parseTime(hi)
+	if err != nil {
+		return parseErr(tok, "bad range end: %v", err)
+	}
+	if t1 <= t0 {
+		return parseErr(tok, "reversed or empty time range (%s >= %s)", lo, hi)
+	}
+	q.T0, q.T1, q.HasRange = t0, t1, true
+	return nil
+}
+
+// timeUnits in decreasing suffix length so "ms" wins over "m" and "s".
+var timeUnits = []struct {
+	suffix string
+	mul    float64
+}{
+	{"ns", float64(vtime.Nanosecond)},
+	{"us", float64(vtime.Microsecond)},
+	{"µs", float64(vtime.Microsecond)},
+	{"ms", float64(vtime.Millisecond)},
+	{"s", float64(vtime.Second)},
+	{"m", float64(vtime.Minute)},
+}
+
+func parseTime(s string) (vtime.Time, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty time")
+	}
+	for _, u := range timeUnits {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok {
+			continue
+		}
+		if num == "" {
+			return 0, fmt.Errorf("missing number before %q", u.suffix)
+		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", num)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("time must be finite and non-negative")
+		}
+		ns := v * u.mul
+		if ns > float64(math.MaxInt64) {
+			return 0, fmt.Errorf("time overflows")
+		}
+		return vtime.Time(ns), nil
+	}
+	return 0, fmt.Errorf("missing unit suffix on %q (want ns/us/ms/s/m)", s)
+}
+
+// String renders the query back in its canonical grammar form; parsing the
+// result yields an equal query. Report and profdiff evidence pointers use
+// this to print queries the user can paste into -explain or /explain.
+func (q Query) String() string {
+	var parts []string
+	if q.Phase != "" {
+		parts = append(parts, "phase="+q.Phase)
+	}
+	if q.HasMachine {
+		if q.Machine == core.GlobalMachine {
+			parts = append(parts, "machine=global")
+		} else {
+			parts = append(parts, fmt.Sprintf("machine=%d", q.Machine))
+		}
+	}
+	if q.Resource != "" {
+		parts = append(parts, "resource="+q.Resource)
+	}
+	if q.HasRange {
+		parts = append(parts, fmt.Sprintf("[%dns..%dns]", int64(q.T0), int64(q.T1)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,149 @@
+package explain
+
+import (
+	"errors"
+	"testing"
+
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+func TestParseQueryOK(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Query
+	}{
+		{"phase=/job/p1", Query{Phase: "/job/p1"}},
+		{"resource=cpu", Query{Resource: "cpu"}},
+		{"phase=/a/b resource=net", Query{Phase: "/a/b", Resource: "net"}},
+		{"phase=/a machine=3", Query{Phase: "/a", Machine: 3, HasMachine: true}},
+		{"phase=/a machine=global",
+			Query{Phase: "/a", Machine: core.GlobalMachine, HasMachine: true}},
+		{"resource=cpu [1s..2s]",
+			Query{Resource: "cpu", T0: at(1), T1: at(2), HasRange: true}},
+		{"resource=cpu [500ms..1.5s]",
+			Query{Resource: "cpu", T0: vtime.Time(500 * vtime.Millisecond),
+				T1: vtime.Time(1500 * vtime.Millisecond), HasRange: true}},
+		{"resource=cpu [250us..2ms]",
+			Query{Resource: "cpu", T0: vtime.Time(250 * vtime.Microsecond),
+				T1: vtime.Time(2 * vtime.Millisecond), HasRange: true}},
+		{"resource=cpu [1µs..1m]",
+			Query{Resource: "cpu", T0: vtime.Time(vtime.Microsecond),
+				T1: vtime.Time(vtime.Minute), HasRange: true}},
+		{"resource=cpu [100ns..200ns]",
+			Query{Resource: "cpu", T0: 100, T1: 200, HasRange: true}},
+		{"  phase=/a   resource=cpu  ", Query{Phase: "/a", Resource: "cpu"}},
+	}
+	for _, c := range cases {
+		got, err := ParseQuery(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseQuery(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []string{
+		"",                               // nothing selected
+		"   ",                            // whitespace only
+		"machine=2",                      // machine without phase/resource
+		"[1s..2s]",                       // range without phase/resource
+		"phase=",                         // empty value
+		"resource=",                      // empty value
+		"phase=nope",                     // path must start with /
+		"phase=/a//b",                    // empty segment
+		"phase=/a/",                      // trailing slash
+		"bare-token",                     // not key=value
+		"color=red",                      // unknown key
+		"phase=/a phase=/b",              // duplicate key
+		"resource=cpu resource=net",      // duplicate key
+		"machine=-1 phase=/a",            // negative machine
+		"machine=two phase=/a",           // non-numeric machine
+		"resource=cpu [1s..2s",           // unterminated range
+		"resource=cpu [1s-2s]",           // missing ..
+		"resource=cpu [2s..1s]",          // reversed range
+		"resource=cpu [1s..1s]",          // empty range
+		"resource=cpu [..2s]",            // missing start
+		"resource=cpu [1s..]",            // missing end
+		"resource=cpu [one..2s]",         // bad number
+		"resource=cpu [1..2]",            // missing unit
+		"resource=cpu [1q..2q]",          // unknown unit
+		"resource=cpu [-1s..2s]",         // negative time
+		"resource=cpu [NaNs..2s]",        // NaN
+		"resource=cpu [Infs..2s]",        // Inf
+		"resource=cpu [1e300s..1e301s]",  // overflow
+		"resource=cpu [1s..2s] [3s..4s]", // duplicate range
+	}
+	for _, in := range cases {
+		_, err := ParseQuery(in)
+		if err == nil {
+			t.Fatalf("ParseQuery(%q): expected error", in)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("ParseQuery(%q): want *ParseError, got %T %v", in, err, err)
+		}
+	}
+}
+
+// TestQueryStringRoundTrip: String() renders the canonical grammar; parsing
+// it back yields the identical query. This is what makes report/profdiff
+// evidence pointers paste-able.
+func TestQueryStringRoundTrip(t *testing.T) {
+	queries := []Query{
+		{Phase: "/job/p1"},
+		{Resource: "cpu"},
+		{Phase: "/a/b/c", Resource: "net", Machine: 0, HasMachine: true},
+		{Phase: "/a", Machine: core.GlobalMachine, HasMachine: true},
+		{Resource: "disk", T0: 12345, T1: 67890, HasRange: true},
+		{Phase: "/x", Resource: "cpu", Machine: 7, HasMachine: true,
+			T0: at(1), T1: at(3), HasRange: true},
+	}
+	for _, q := range queries {
+		back, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", q.String(), err)
+		}
+		if back != q {
+			t.Fatalf("round trip %q: got %+v, want %+v", q.String(), back, q)
+		}
+	}
+}
+
+// FuzzParseQuery is the satellite robustness guard: the parser must return a
+// typed *ParseError (never panic) on malformed input, and every accepted
+// query must round-trip through its canonical String() form.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"phase=/job/p1 resource=cpu",
+		"resource=cpu machine=global [1s..2s]",
+		"phase=/a/b machine=0 [500ms..1.5s]",
+		"phase=/a//b", "machine=-1", "[2s..1s]", "[1s..2s",
+		"resource=cpu [1e309s..2s]", "phase= resource=", "k=v=w",
+		"phase=/\x00 resource=\xff", "[..]", "[ns..ns]", "µs",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseQuery(s)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseQuery(%q): non-typed error %T %v", s, err, err)
+			}
+			return
+		}
+		canon := q.String()
+		back, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if back != q {
+			t.Fatalf("round trip %q → %q: got %+v, want %+v", s, canon, back, q)
+		}
+	})
+}

@@ -50,7 +50,28 @@ type Issue struct {
 	// Impact is 1 − Optimistic/Original: the paper's upper bound on the
 	// achievable makespan reduction.
 	Impact float64
+	// Trail is the replay-delta evidence: which leaf phase types had their
+	// hypothetical durations changed by the what-if replay behind this
+	// issue, aggregated per type, largest savings first (capped at
+	// maxTrailEntries).
+	Trail []TrailEntry
 }
+
+// TrailEntry aggregates the replay deltas of one leaf phase type.
+type TrailEntry struct {
+	// TypePath identifies the leaf phase type.
+	TypePath string
+	// Phases counts the phase instances whose duration the what-if replay
+	// changed.
+	Phases int
+	// DeltaNS is the summed duration change in virtual nanoseconds
+	// (negative = the hypothesis shortens these phases).
+	DeltaNS int64
+}
+
+// maxTrailEntries caps an issue's trail; the untruncated evidence is
+// reachable through the explain engine.
+const maxTrailEntries = 8
 
 // Describe renders a one-line summary.
 func (i Issue) Describe() string {
@@ -196,6 +217,7 @@ func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Rep
 		}
 		issue.Optimistic = Replay(tr, durs)
 		issue.Impact = impact(rep.Original, issue.Optimistic)
+		issue.Trail = trailOf(durs)
 		results[i] = issue
 		span.End()
 	})
@@ -212,6 +234,41 @@ func Analyze(prof *attribution.Profile, btl *bottleneck.Report, cfg Config) *Rep
 
 	sort.Slice(rep.Issues, func(i, j int) bool { return rep.Issues[i].Impact > rep.Issues[j].Impact })
 	return rep
+}
+
+// trailOf aggregates a what-if replay's duration deltas per leaf phase
+// type: the evidence of which work the hypothesis actually shortened.
+// Deterministic: sorted by delta ascending (largest savings first), then
+// type path, and capped at maxTrailEntries.
+func trailOf(durs Durations) []TrailEntry {
+	byType := map[string]*TrailEntry{}
+	for leaf, newDur := range durs {
+		tp := "(untyped)"
+		if leaf.Type != nil {
+			tp = leaf.Type.Path()
+		}
+		e := byType[tp]
+		if e == nil {
+			e = &TrailEntry{TypePath: tp}
+			byType[tp] = e
+		}
+		e.Phases++
+		e.DeltaNS += int64(newDur - Intrinsic(leaf))
+	}
+	out := make([]TrailEntry, 0, len(byType))
+	for _, e := range byType {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeltaNS != out[j].DeltaNS {
+			return out[i].DeltaNS < out[j].DeltaNS
+		}
+		return out[i].TypePath < out[j].TypePath
+	})
+	if len(out) > maxTrailEntries {
+		out = out[:maxTrailEntries]
+	}
+	return out
 }
 
 func impact(orig, opt vtime.Duration) float64 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"grade10/internal/explain"
 	"grade10/internal/profstore"
 )
 
@@ -116,6 +117,9 @@ type BottleneckDelta struct {
 	ATotalNS int64  `json:"a_total_ns"`
 	BTotalNS int64  `json:"b_total_ns"`
 	DeltaNS  int64  `json:"delta_ns"`
+	// ExplainQuery is a ready-to-paste provenance query (grade10 -explain /
+	// GET /explain) that derives this bottleneck's attributed time.
+	ExplainQuery string `json:"explain_query"`
 }
 
 // IssueDelta compares one (kind, target) issue's estimated impact.
@@ -153,6 +157,9 @@ type Localization struct {
 	BlockedDeltaSeconds    float64 `json:"blocked_delta_seconds"`
 	BottleneckDeltaSeconds float64 `json:"bottleneck_delta_seconds"`
 	AttributedDeltaCapSec  float64 `json:"attributed_delta_cap_seconds"`
+	// ExplainQuery is a ready-to-paste provenance query (grade10 -explain /
+	// GET /explain) that derives the blamed cell on either run.
+	ExplainQuery string `json:"explain_query"`
 }
 
 // Report is the full structural diff of two archived runs.
@@ -380,6 +387,7 @@ func localize(a, b *profstore.Record, phases []PhaseDelta, dir int64) *Localizat
 		RelChange: safeRel(g.aTotal, g.aTotal+g.delta)}
 	loc.Resource, loc.BlockedDeltaSeconds, loc.BottleneckDeltaSeconds,
 		loc.AttributedDeltaCapSec = blameResource(a, b, best, dir)
+	loc.ExplainQuery = explainQuery(loc.TypePath, loc.Resource)
 	return loc
 }
 
@@ -491,7 +499,8 @@ func diffBottlenecks(a, b *profstore.Record, cfg Config) []BottleneckDelta {
 		ra, inA := am[k]
 		rb, inB := bm[k]
 		d := BottleneckDelta{TypePath: k.tp, Resource: k.res, Kind: k.kind,
-			ATotalNS: ra.TotalNS, BTotalNS: rb.TotalNS}
+			ATotalNS: ra.TotalNS, BTotalNS: rb.TotalNS,
+			ExplainQuery: explainQuery(k.tp, k.res)}
 		d.DeltaNS = d.BTotalNS - d.ATotalNS
 		switch {
 		case inA && inB:
@@ -613,6 +622,14 @@ func diffBench(a, b *profstore.Record) []BenchDelta {
 		return out[i].Config < out[j].Config
 	})
 	return out
+}
+
+// explainQuery renders the canonical provenance query for a (type path,
+// resource) pair, ready to paste into `grade10 -explain` or GET /explain on
+// either run of the pair.
+func explainQuery(typePath, resource string) string {
+	q := explain.Query{Phase: typePath, Resource: resource}
+	return q.String()
 }
 
 func abs64(v int64) int64 {

@@ -69,6 +69,10 @@ func WriteText(w io.Writer, rep *Report) error {
 				signedDur(d.DeltaNS))
 		}
 		tw.Flush()
+		fmt.Fprintf(&b, "  evidence pointers (paste into grade10 -explain '...' on either run):\n")
+		for _, d := range rep.Bottlenecks {
+			fmt.Fprintf(&b, "    %s\n", d.ExplainQuery)
+		}
 	}
 
 	if len(rep.Issues) > 0 {
@@ -104,6 +108,9 @@ func writeLocalization(b *strings.Builder, title string, l *Localization) {
 		signedDur(l.DeltaNS), signedPct(l.RelChange))
 	fmt.Fprintf(b, "  evidence: blocked %+.3fs, bottleneck %+.3fs, attributed %+.3f capacity·s\n",
 		l.BlockedDeltaSeconds, l.BottleneckDeltaSeconds, l.AttributedDeltaCapSec)
+	if l.ExplainQuery != "" {
+		fmt.Fprintf(b, "  explain: %s\n", l.ExplainQuery)
+	}
 }
 
 func describeRun(r RunRef) string {

@@ -13,7 +13,9 @@ import (
 
 	"grade10/internal/bottleneck"
 	"grade10/internal/core"
+	"grade10/internal/explain"
 	"grade10/internal/grade10"
+	"grade10/internal/issues"
 	"grade10/internal/vtime"
 )
 
@@ -97,6 +99,23 @@ type BottleneckRow struct {
 	Kind     bottleneck.Kind
 	Phases   int
 	Total    vtime.Duration
+	// Intervals, EvStart and EvEnd summarize the triggering evidence across
+	// the aggregated phases: total evidence intervals and the bounds of the
+	// earliest and latest. ExplainQuery() turns them into a provenance
+	// query that reproduces the verdict's inputs.
+	Intervals int
+	EvStart   vtime.Time
+	EvEnd     vtime.Time
+}
+
+// ExplainQuery renders the provenance query resolving this row's evidence,
+// for grade10 -explain or GET /explain?q=.
+func (r BottleneckRow) ExplainQuery() string {
+	q := explain.Query{Phase: r.TypePath, Resource: r.Resource}
+	if r.EvEnd > r.EvStart {
+		q.T0, q.T1, q.HasRange = r.EvStart, r.EvEnd, true
+	}
+	return q.String()
 }
 
 // AggregateBottlenecks groups the report by phase type.
@@ -119,6 +138,15 @@ func AggregateBottlenecks(rep *bottleneck.Report) []BottleneckRow {
 		}
 		row.Phases++
 		row.Total += b.Time
+		row.Intervals += b.Intervals
+		if b.EvEnd > b.EvStart {
+			if row.EvEnd <= row.EvStart || b.EvStart < row.EvStart {
+				row.EvStart = b.EvStart
+			}
+			if b.EvEnd > row.EvEnd {
+				row.EvEnd = b.EvEnd
+			}
+		}
 	}
 	out := make([]BottleneckRow, 0, len(agg))
 	for _, r := range agg {
@@ -136,11 +164,27 @@ func WriteBottlenecks(w io.Writer, out *grade10.Output) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "PHASE TYPE\tRESOURCE\tKIND\tPHASES\tTOTAL TIME")
+	fmt.Fprintln(tw, "PHASE TYPE\tRESOURCE\tKIND\tPHASES\tTOTAL TIME\tEVIDENCE")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\n", r.TypePath, r.Resource, r.Kind, r.Phases, r.Total)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%s\n", r.TypePath, r.Resource, r.Kind,
+			r.Phases, r.Total, evidenceSummary(r))
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "evidence pointers (paste into grade10 -explain '...' or GET /explain?q=...):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r.ExplainQuery())
+	}
+	return nil
+}
+
+// evidenceSummary renders the one-line evidence cell of a bottleneck row.
+func evidenceSummary(r BottleneckRow) string {
+	if r.Intervals == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d interval(s) %v..%v", r.Intervals, r.EvStart, r.EvEnd)
 }
 
 // WriteIssues renders the detected performance issues and outliers.
@@ -150,6 +194,9 @@ func WriteIssues(w io.Writer, out *grade10.Output) error {
 	}
 	for _, is := range out.Issues.Issues {
 		fmt.Fprintf(w, "[%s] %s\n", is.Kind, is.Describe())
+		if line := issueEvidence(is); line != "" {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
 	}
 	if len(out.Issues.Outliers) > 0 {
 		fmt.Fprintf(w, "stragglers (%d):\n", len(out.Issues.Outliers))
@@ -170,6 +217,19 @@ func WriteIssues(w io.Writer, out *grade10.Output) error {
 			b.InstanceKey, b.CoV, b.PeakToMean)
 	}
 	return nil
+}
+
+// issueEvidence renders an issue's replay-delta trail as a one-line
+// evidence summary with a provenance query pointing at the most-affected
+// phase type.
+func issueEvidence(is issues.Issue) string {
+	if len(is.Trail) == 0 {
+		return ""
+	}
+	top := is.Trail[0]
+	q := explain.Query{Phase: top.TypePath, Resource: is.Resource}
+	return fmt.Sprintf("evidence: replay changed %d phase type(s); top %s (%d phases, Δ%v); explain: %s",
+		len(is.Trail), top.TypePath, top.Phases, vtime.Duration(top.DeltaNS), q.String())
 }
 
 // sparkLevels are the eight block characters used for timelines.

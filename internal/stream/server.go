@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -11,8 +12,10 @@ import (
 	"sync"
 	"time"
 
+	"grade10/internal/explain"
 	"grade10/internal/obs"
 	"grade10/internal/report"
+	"grade10/internal/vtime"
 )
 
 // Server exposes an Engine's live profile over HTTP:
@@ -24,6 +27,7 @@ import (
 //	/stats       ingest and robustness counters (JSON)
 //	/metrics     Prometheus text format
 //	/report      the final batch-identical report (text; 503 until finalized)
+//	/explain     provenance query ?q=... (JSON or ?format=text)
 //	/trace       Chrome trace-event JSON (self-trace + profile when final)
 //	/healthz     liveness; 503 degraded when ingest is stale
 //
@@ -55,6 +59,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/", s.handleIndex)
@@ -138,7 +143,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "grade10 live characterization")
-	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /trace /healthz")
+	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /explain /trace /healthz")
 	if s.store != nil {
 		fmt.Fprintln(w, "archive: /runs /runs/{id} /diff?a=&b=[&format=text]")
 	}
@@ -186,6 +191,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleExplain answers explain queries (?q=<query>) against the captured
+// provenance: one exact full-run derivation once finalized in retain mode,
+// else one derivation per retained window overlapping the query. JSON by
+// default; ?format=text renders the human-readable derivation chains.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	queryStr := r.URL.Query().Get("q")
+	if queryStr == "" {
+		http.Error(w, "missing ?q=<query> (grammar: phase=<type-path> machine=<m> resource=<name> [t0..t1])",
+			http.StatusBadRequest)
+		return
+	}
+	derivs, err := s.engine.Explain(queryStr)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		var pe *explain.ParseError
+		if errors.As(err, &pe) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i, wd := range derivs {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			if wd.Final {
+				fmt.Fprintln(w, "=== final (exact full-run derivation) ===")
+			} else {
+				fmt.Fprintf(w, "=== window %s..%s ===\n",
+					vtime.Time(wd.WindowStartNS), vtime.Time(wd.WindowEndNS))
+			}
+			_ = wd.Derivation.WriteText(w)
+		}
+		return
+	}
+	writeJSON(w, struct {
+		Query       string             `json:"query"`
+		Derivations []WindowDerivation `json:"derivations"`
+	}{queryStr, derivs})
 }
 
 // handleTrace serves the combined Chrome trace-event export: the pipeline's
@@ -301,6 +349,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.value("", float64(snap.Stats.IgnoredSamples))
 	p.family("grade10_windows_flushed_total", "Analysis windows flushed.", "counter")
 	p.value("", float64(snap.Stats.WindowsFlushed))
+	p.family("grade10_explain_queries_total", "Explain queries served by the provenance engine.", "counter")
+	p.value("", float64(s.engine.ExplainQueries()))
+	p.family("grade10_provenance_bytes", "Approximate retained size of the captured attribution provenance.", "gauge")
+	p.value("", float64(s.engine.ProvenanceBytes()))
 
 	p.family("grade10_open_phases", "Phases currently executing.", "gauge")
 	p.value("", float64(len(snap.OpenPhases)))

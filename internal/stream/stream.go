@@ -42,6 +42,7 @@ import (
 	"grade10/internal/cluster"
 	"grade10/internal/core"
 	"grade10/internal/enginelog"
+	"grade10/internal/explain"
 	"grade10/internal/grade10"
 	"grade10/internal/issues"
 	"grade10/internal/metrics"
@@ -81,6 +82,12 @@ type Config struct {
 	// attribution jobs inside them, and (in retain mode) the final batch
 	// pipeline. Nil disables self-tracing at zero cost.
 	Tracer *obs.Tracer
+	// Explain enables provenance capture: each flushed window keeps an
+	// explain.Explainer (ring bounded by MaxWindows, like the window
+	// results), and in retain mode Finalize builds one exact full-run
+	// explainer. Off by default — capture costs memory proportional to the
+	// retained windows.
+	Explain bool
 	// Now is the wall clock used for ingest staleness tracking; nil takes
 	// time.Now. Injectable for tests.
 	Now func() time.Time
@@ -216,6 +223,9 @@ type Engine struct {
 	frontier   vtime.Time // end of the last flushed window
 
 	windows  []*WindowResult
+	winEx    []*windowExplainer // parallel ring when cfg.Explain
+	finalEx  *explain.Explainer
+	explainQ int64 // explain queries served
 	instAggs map[string]*instAgg
 	btlAggs  map[bottleneckKey]*bottleneckAgg
 	typeAggs map[string]*typeAgg
@@ -634,8 +644,14 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 		span.SetItems(int64(len(leaves)))
 		span.SetWindow(int64(w0), int64(w1))
 	}
-	prof, err := attribution.AttributeWindowTraced(tr, leaves, rt, e.cfg.Models.Rules, win,
-		e.cfg.Parallelism, e.cfg.Tracer)
+	var rec *explain.Recorder
+	var arec attribution.Recorder // stays a true nil interface when disabled
+	if e.cfg.Explain {
+		rec = explain.NewRecorder(0)
+		arec = rec
+	}
+	prof, err := attribution.AttributeWindowProv(tr, leaves, rt, e.cfg.Models.Rules, win,
+		e.cfg.Parallelism, e.cfg.Tracer, arec)
 	for _, ph := range reopened {
 		ph.End = -1
 	}
@@ -645,7 +661,23 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 	}
 	rep := bottleneck.DetectWindow(prof, e.cfg.Bottleneck)
 	e.foldWindowLocked(win, prof, rep)
+	if rec != nil {
+		ex := explain.NewExplainer(prof, rec)
+		if e.cfg.Bottleneck.SaturationThreshold > 0 {
+			ex.SaturationThreshold = e.cfg.Bottleneck.SaturationThreshold
+		}
+		e.winEx = append(e.winEx, &windowExplainer{W0: w0, W1: w1, Ex: ex})
+		if over := len(e.winEx) - e.cfg.MaxWindows; over > 0 {
+			e.winEx = append(e.winEx[:0], e.winEx[over:]...)
+		}
+	}
 	span.End()
+}
+
+// windowExplainer pairs one flushed window with its provenance explainer.
+type windowExplainer struct {
+	W0, W1 vtime.Time
+	Ex     *explain.Explainer
 }
 
 // retireLocked drops live state wholly behind the flushed frontier.
@@ -748,7 +780,7 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 		e.finalErr = fmt.Errorf("stream: no events ingested")
 		return nil, e.finalErr
 	}
-	e.finalOut, e.finalErr = grade10.Characterize(grade10.Input{
+	in := grade10.Input{
 		Log:              &enginelog.Log{Events: e.events},
 		Monitoring:       e.monitoringLocked(),
 		Models:           e.cfg.Models,
@@ -757,7 +789,20 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 		IssueConfig:      e.cfg.Issues,
 		Parallelism:      e.cfg.Parallelism,
 		Tracer:           e.cfg.Tracer,
-	})
+	}
+	var rec *explain.Recorder
+	if e.cfg.Explain {
+		rec = explain.NewRecorder(0)
+		in.Recorder = rec
+	}
+	e.finalOut, e.finalErr = grade10.Characterize(in)
+	if e.finalErr == nil && rec != nil {
+		ex := explain.NewExplainer(e.finalOut.Profile, rec)
+		if e.cfg.Bottleneck.SaturationThreshold > 0 {
+			ex.SaturationThreshold = e.cfg.Bottleneck.SaturationThreshold
+		}
+		e.finalEx = ex
+	}
 	return e.finalOut, e.finalErr
 }
 
@@ -788,6 +833,105 @@ func (e *Engine) FinalStatus() (out *grade10.Output, finalized bool, err error) 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.finalOut, e.finalized, e.finalErr
+}
+
+// ExplainEnabled reports whether provenance capture is on.
+func (e *Engine) ExplainEnabled() bool { return e.cfg.Explain }
+
+// ExplainQueries returns the number of explain queries served (the
+// grade10_explain_queries_total counter).
+func (e *Engine) ExplainQueries() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.explainQ
+}
+
+// ProvenanceBytes returns the approximate retained size of the captured
+// provenance across the window ring and the final explainer (the
+// grade10_provenance_bytes gauge).
+func (e *Engine) ProvenanceBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, we := range e.winEx {
+		total += we.Ex.Rec.Bytes()
+	}
+	if e.finalEx != nil {
+		total += e.finalEx.Rec.Bytes()
+	}
+	return total
+}
+
+// WindowDerivation is one window's (or the final full-run) answer to an
+// explain query.
+type WindowDerivation struct {
+	// WindowStartNS/WindowEndNS bound the window; Final marks the exact
+	// full-run derivation produced after Finalize in retain mode.
+	WindowStartNS int64               `json:"window_start_ns"`
+	WindowEndNS   int64               `json:"window_end_ns"`
+	Final         bool                `json:"final"`
+	Derivation    *explain.Derivation `json:"derivation"`
+}
+
+// Explain answers one explain query against the captured provenance. After
+// Finalize in retain mode the answer is the single exact full-run
+// derivation; before that it is one derivation per retained window
+// overlapping the query's time range. Returns explain.ParseError /
+// explain.EvalError for bad queries, and a plain error when capture is
+// disabled or no provenance matched.
+func (e *Engine) Explain(queryStr string) ([]WindowDerivation, error) {
+	q, err := explain.ParseQuery(queryStr)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	span := e.cfg.Tracer.StartSpan("explain-query", -1)
+	if e.cfg.Tracer.Enabled() {
+		span.SetDetail(q.String())
+	}
+	defer span.End()
+	e.explainQ++
+	if !e.cfg.Explain {
+		return nil, fmt.Errorf("stream: provenance capture is disabled (enable with -explain)")
+	}
+	// Final explainer: immutable profile, exact whole-run answer.
+	if e.finalEx != nil {
+		d, err := e.finalEx.Explain(q)
+		if err != nil {
+			return nil, err
+		}
+		return []WindowDerivation{{
+			WindowStartNS: int64(e.finalEx.Prof.Slices.Start),
+			WindowEndNS:   int64(e.finalEx.Prof.Slices.End),
+			Final:         true,
+			Derivation:    d,
+		}}, nil
+	}
+	// Live: answer per retained window, still under e.mu — window profiles
+	// reference phases the live tree keeps mutating.
+	var out []WindowDerivation
+	var lastErr error
+	for _, we := range e.winEx {
+		if q.HasRange && (q.T1 <= we.W0 || q.T0 >= we.W1) {
+			continue
+		}
+		d, err := we.Ex.Explain(q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out = append(out, WindowDerivation{
+			WindowStartNS: int64(we.W0), WindowEndNS: int64(we.W1), Derivation: d,
+		})
+	}
+	if len(out) == 0 {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("stream: no flushed window holds provenance for this query yet")
+	}
+	return out, nil
 }
 
 // Mem returns the engine's retained-state sizes.
