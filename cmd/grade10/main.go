@@ -14,6 +14,7 @@
 //	grade10 -run run/ -explain 'phase=/pr/execute/superstep/worker/compute/thread machine=0 resource=cpu'
 //	grade10 -run run/ -store profiles/ -run-label baseline
 //	grade10 -store profiles/ -diff runA runB -diff-out delta.json
+//	grade10 -blame runA runA/ runB/   # cross-job blame across co-scheduled runs
 package main
 
 import (
@@ -22,8 +23,11 @@ import (
 	"log/slog"
 	"os"
 
+	"path/filepath"
+
 	"grade10/internal/enginelog"
 	"grade10/internal/explain"
+	"grade10/internal/fleet"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
 	"grade10/internal/profdiff"
@@ -53,6 +57,8 @@ func main() {
 		storeMax = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
 		runLabel = flag.String("run-label", "", "free-form label recorded with the archived run")
 
+		blameTarget   = flag.String("blame", "", "cross-job blame: grade10 -blame TARGET RUNDIR... characterizes every run directory (their run.json placement manifests declare the shared hosts) and splits TARGET's contended time across its co-scheduled neighbors")
+		blameOut      = flag.String("blame-out", "", "also write the blame report as JSON to this file")
 		diffMode      = flag.Bool("diff", false, "diff two archived runs: grade10 -store DIR -diff RUN_A RUN_B (IDs or unique prefixes)")
 		diffOut       = flag.String("diff-out", "", "also write the diff report as JSON to this file")
 		diffThreshold = flag.Float64("diff-threshold", 0, "makespan fraction separating neutral from improved/regressed (default 0.05)")
@@ -71,6 +77,14 @@ func main() {
 			os.Exit(2)
 		}
 		runDiff(*storeDir, *storeMax, flag.Arg(0), flag.Arg(1), *diffThreshold, *diffOut, *failOnRegress)
+		return
+	}
+	if *blameTarget != "" {
+		if flag.NArg() < 2 {
+			logger.Error("-blame needs the target name and at least two run directories: grade10 -blame TARGET RUNDIR RUNDIR...")
+			os.Exit(2)
+		}
+		runBlame(*blameTarget, flag.Args(), vtime.Duration(*timeslice), *parallel, *format, *blameOut)
 		return
 	}
 	if *runDir == "" {
@@ -198,6 +212,65 @@ func main() {
 		for _, id := range evicted {
 			logger.Info("evicted oldest run", "id", id)
 		}
+	}
+}
+
+// runBlame characterizes every run directory with the batch pipeline, builds
+// each run's shared-host demand timeline from its placement manifest, and
+// prints the cross-job blame split for the target run (named by its
+// directory base name).
+func runBlame(target string, dirs []string, timeslice vtime.Duration, parallel int, format, jsonOut string) {
+	ts := grade10.DefaultTimeslice
+	if timeslice > 0 {
+		ts = timeslice
+	}
+	profiles := make([]*fleet.BlameProfile, 0, len(dirs))
+	for _, dir := range dirs {
+		name := filepath.Base(filepath.Clean(dir))
+		run, err := rundir.Load(dir)
+		if err != nil {
+			fail(err)
+		}
+		if len(run.Info.Placement) == 0 {
+			logger.Warn("run has no placement manifest (runsim -hosts); it shares nothing", "run", name)
+		}
+		models, log, err := resolveModels(run, "", false)
+		if err != nil {
+			fail(err)
+		}
+		out, err := grade10.Characterize(grade10.Input{
+			Log: log, Monitoring: run.Monitoring, Models: models,
+			Timeslice: ts, Parallelism: parallel,
+		})
+		if err != nil {
+			fail(fmt.Errorf("characterizing %s: %w", dir, err))
+		}
+		profiles = append(profiles, fleet.BuildBlameProfile(name, run.Info, out, ts))
+	}
+	rep, err := fleet.Blame(profiles, target, fleet.BlameConfig{SliceWidth: ts, Parallelism: parallel})
+	if err != nil {
+		fail(err)
+	}
+	if format == "json" {
+		err = fleet.WriteBlameJSON(os.Stdout, rep)
+	} else {
+		err = fleet.WriteBlameText(os.Stdout, rep)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := fleet.WriteBlameJSON(f, rep); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		logger.Info("wrote " + jsonOut)
 	}
 }
 

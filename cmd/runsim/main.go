@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"grade10/internal/cluster"
@@ -56,6 +57,7 @@ func main() {
 		bug       = flag.Bool("bug", false, "powergraph: inject the §IV-D synchronization bug")
 		interval  = flag.Duration("interval", 0, "monitoring interval (virtual; default 50ms)")
 		out       = flag.String("out", "", "output run directory (required)")
+		hosts     = flag.String("hosts", "", "co-scheduling manifest: comma-separated shared host names, one per worker (round-robin if fewer); recorded in run.json for fleet cross-job blame")
 		serveAddr = flag.String("serve", "", "serve live characterization on this address while the simulation runs")
 		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
 		parallel  = flag.Int("parallelism", 0, "host-side precompute/analysis worker count (0 = GOMAXPROCS); logs and results are identical for every value")
@@ -175,6 +177,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *hosts != "" {
+		run.Info.Placement = parsePlacement(*hosts, run.Info.Workers)
+	}
 	if err := rundir.Save(*out, run); err != nil {
 		fail(err)
 	}
@@ -277,6 +282,26 @@ func (ls *liveServe) finish(monitoring []cluster.ResourceSamples, linger time.Du
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = ls.srv.Shutdown(ctx)
+}
+
+// parsePlacement maps each run-local machine onto a shared host name,
+// round-robin over the -hosts list, so co-scheduled runsim invocations can
+// declare which physical hosts they contended on.
+func parsePlacement(hosts string, workers int) []rundir.Placement {
+	var names []string
+	for _, h := range strings.Split(hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			names = append(names, h)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	placement := make([]rundir.Placement, workers)
+	for m := 0; m < workers; m++ {
+		placement[m] = rundir.Placement{Machine: m, Host: names[m%len(names)]}
+	}
+	return placement
 }
 
 func loadGraph(file, dataset string) (*graph.Graph, error) {

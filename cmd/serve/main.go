@@ -21,6 +21,19 @@
 // waiting, buffering, and counting respectively. With -stale, /healthz
 // reports degraded (HTTP 503) when no input has arrived for the given
 // wall-clock duration while the run is still open.
+//
+// Fleet mode (-fleet, mutually exclusive with -run) serves many runs at
+// once: a watch directory is polled for new run subdirectories, each is
+// admitted through a bounded scheduler (-fleet-active concurrent engines,
+// -fleet-queue backlog, everything beyond that shed and counted), and the
+// cross-run endpoints come up instead of the single-run ones:
+//
+//	serve -fleet runs/ -addr :7070 -store archive/ -store-shards 4
+//	curl localhost:7070/fleet/runs          # every run + admission counters
+//	curl -X POST -d '{"dir":"runs/x"}' localhost:7070/fleet/runs
+//	curl localhost:7070/fleet/bottlenecks   # top-K across all runs
+//	curl localhost:7070/fleet/regressions   # top-K archive diff verdicts
+//	curl 'localhost:7070/fleet/blame?run=a' # cross-job blame split
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"grade10/internal/fleet"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
 	"grade10/internal/profdiff"
@@ -48,22 +62,29 @@ var logger *slog.Logger
 
 func main() {
 	var (
-		runDir    = flag.String("run", "", "run directory to tail (required)")
-		addr      = flag.String("addr", ":7070", "HTTP listen address")
-		poll      = flag.Duration("poll", 100*time.Millisecond, "file polling interval")
-		idle      = flag.Duration("idle", time.Second, "idle time after which the run counts as complete")
-		timeslice = flag.Duration("timeslice", 0, "analysis timeslice (virtual; default 10ms)")
-		window    = flag.Int("window", 64, "timeslices per live analysis window")
-		maxWin    = flag.Int("max-windows", 32, "recent windows retained for /windows")
-		bounded   = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
-		parallel  = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		explainOn = flag.Bool("explain", false, "capture attribution provenance and serve /explain queries")
-		stale     = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
-		storeDir  = flag.String("store", "", "profile archive directory: serve /runs and /diff, and archive this run once finalized")
-		storeMax  = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
-		runLabel  = flag.String("run-label", "", "free-form label recorded with the archived run")
-		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		runDir      = flag.String("run", "", "run directory to tail (required)")
+		addr        = flag.String("addr", ":7070", "HTTP listen address")
+		poll        = flag.Duration("poll", 100*time.Millisecond, "file polling interval")
+		idle        = flag.Duration("idle", time.Second, "idle time after which the run counts as complete")
+		timeslice   = flag.Duration("timeslice", 0, "analysis timeslice (virtual; default 10ms)")
+		window      = flag.Int("window", 64, "timeslices per live analysis window")
+		maxWin      = flag.Int("max-windows", 32, "recent windows retained for /windows")
+		bounded     = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
+		parallel    = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		explainOn   = flag.Bool("explain", false, "capture attribution provenance and serve /explain queries")
+		stale       = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
+		storeDir    = flag.String("store", "", "profile archive directory: serve /runs and /diff, and archive this run once finalized")
+		storeMax    = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded; per shard with -store-shards)")
+		storeShards = flag.Int("store-shards", 0, "shard the archive index by run-ID prefix into this many shards (0 = single index; existing single-index archives migrate in place)")
+		runLabel    = flag.String("run-label", "", "free-form label recorded with the archived run")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+
+		fleetDir     = flag.String("fleet", "", "fleet mode: watch this directory for run subdirectories and characterize them all (mutually exclusive with -run)")
+		fleetActive  = flag.Int("fleet-active", 8, "fleet mode: max concurrently ingesting runs")
+		fleetQueue   = flag.Int("fleet-queue", 64, "fleet mode: admission backlog depth; registrations beyond active+queue are shed")
+		stallTimeout = flag.Duration("stall-timeout", 0, "fleet mode: tear a run down if run.json has not appeared this long after admission (0 disables)")
+		shutdownTO   = flag.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown budget: drain in-flight window flushes/finalizes and HTTP before exiting")
 	)
 	flag.Parse()
 	var err error
@@ -72,9 +93,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
 	}
-	if *runDir == "" {
-		logger.Error("-run is required")
+	if (*runDir == "") == (*fleetDir == "") {
+		logger.Error("exactly one of -run (single run) or -fleet (watch directory) is required")
 		os.Exit(2)
+	}
+	if *fleetDir != "" {
+		runFleet(*fleetDir, *addr, fleetOptions{
+			active: *fleetActive, queue: *fleetQueue, stall: *stallTimeout,
+			poll: *poll, idle: *idle, timeslice: *timeslice,
+			window: *window, maxWin: *maxWin, parallel: *parallel,
+			explain: *explainOn, storeDir: *storeDir, storeMax: *storeMax,
+			storeShards: *storeShards, shutdownTO: *shutdownTO,
+		})
+		return
 	}
 
 	// The handler swaps from "warming up" to the live server once run.json
@@ -139,7 +170,7 @@ func main() {
 			}
 			srv.SetStaleThreshold(*stale)
 			if *storeDir != "" {
-				store, err := profstore.Open(*storeDir, profstore.Options{MaxRuns: *storeMax})
+				store, err := openArchive(*storeDir, *storeMax, *storeShards)
 				if err != nil {
 					fail(err)
 				}
@@ -211,9 +242,98 @@ func main() {
 		}
 	}
 
+	// Graceful shutdown: the finalize above already drained every in-flight
+	// window flush (Follow returns before Finalize runs), so all that is
+	// left is letting in-flight HTTP requests complete within the budget.
 	<-stop
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+}
+
+// openArchive opens the profile archive in single-index or sharded layout.
+// With shards > 0 an existing single-index archive migrates in place.
+func openArchive(dir string, maxRuns, shards int) (profstore.Archive, error) {
+	if shards > 0 {
+		return profstore.OpenSharded(dir, profstore.ShardedOptions{
+			Shards: shards, MaxRunsPerShard: maxRuns,
+		})
+	}
+	return profstore.Open(dir, profstore.Options{MaxRuns: maxRuns})
+}
+
+// fleetOptions carries the fleet-mode flag values.
+type fleetOptions struct {
+	active, queue         int
+	stall, poll, idle     time.Duration
+	timeslice             time.Duration
+	window, maxWin        int
+	parallel              int
+	explain               bool
+	storeDir              string
+	storeMax, storeShards int
+	shutdownTO            time.Duration
+}
+
+// runFleet is fleet mode: many concurrent runs behind the admission
+// scheduler, discovered from the watch directory or registered over HTTP.
+func runFleet(watchDir, addr string, opt fleetOptions) {
+	cfg := fleet.Config{
+		MaxActive:    opt.active,
+		QueueDepth:   opt.queue,
+		StallTimeout: opt.stall,
+		Poll:         opt.poll,
+		Idle:         opt.idle,
+		WindowSlices: opt.window,
+		MaxWindows:   opt.maxWin,
+		Parallelism:  opt.parallel,
+		Explain:      opt.explain,
+		Logger:       logger,
+	}
+	if opt.timeslice > 0 {
+		cfg.Timeslice = vtime.Duration(opt.timeslice)
+	}
+	if opt.storeDir != "" {
+		store, err := openArchive(opt.storeDir, opt.storeMax, opt.storeShards)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Archive = store
+	}
+	fl := fleet.New(cfg)
+	srv := fleet.NewServer(fl)
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	srv.RegisterMetrics(reg)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+	logger.Info(fmt.Sprintf("fleet mode: listening on %s, watching %s (active<=%d queue<=%d)",
+		addr, watchDir, opt.active, opt.queue))
+
+	stop := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		close(stop)
+	}()
+
+	if err := fl.Watch(watchDir, stop); err != nil {
+		fail(err)
+	}
+
+	// Drain: let every active run finish its in-flight flush/finalize (each
+	// still archives), then stop HTTP, all within the shutdown budget.
+	ctx, cancel := context.WithTimeout(context.Background(), opt.shutdownTO)
+	defer cancel()
+	if err := fl.Shutdown(ctx); err != nil {
+		logger.Warn(err.Error())
+	}
 	_ = httpSrv.Shutdown(ctx)
 }
 

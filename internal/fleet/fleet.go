@@ -1,0 +1,686 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"grade10/internal/grade10"
+	"grade10/internal/profdiff"
+	"grade10/internal/profstore"
+	"grade10/internal/rundir"
+	"grade10/internal/stream"
+	"grade10/internal/vtime"
+)
+
+// RunStatus is a registered run's lifecycle state.
+type RunStatus string
+
+const (
+	// StatusQueued: admitted to the backlog, waiting for an active slot.
+	StatusQueued RunStatus = "queued"
+	// StatusActive: a worker is tailing the run directory into its engine.
+	StatusActive RunStatus = "active"
+	// StatusDone: finalized; the compact record and blame profile remain,
+	// the stream engine has been torn down.
+	StatusDone RunStatus = "done"
+	// StatusFailed: ingest or finalize errored; Error carries the cause.
+	StatusFailed RunStatus = "failed"
+	// StatusStalled: run.json never appeared within StallTimeout; torn down.
+	StatusStalled RunStatus = "stalled"
+)
+
+// Config tunes the fleet manager.
+type Config struct {
+	// MaxActive / QueueDepth bound admission (see SchedulerConfig).
+	MaxActive  int
+	QueueDepth int
+	// StallTimeout tears an active run down if its metadata (run.json) has
+	// not appeared that long after admission; 0 disables.
+	StallTimeout time.Duration
+	// Poll and Idle are per-run tailing knobs (rundir.FollowOptions).
+	Poll time.Duration
+	Idle time.Duration
+	// Timeslice, WindowSlices, MaxWindows and Parallelism size each per-run
+	// stream engine exactly as cmd/serve's single-run mode does.
+	Timeslice    vtime.Duration
+	WindowSlices int
+	MaxWindows   int
+	Parallelism  int
+	// Explain enables per-run attribution provenance capture.
+	Explain bool
+	// Archive, when set, receives every finalized run's record. The fleet
+	// serializes access (the store is not goroutine-safe).
+	Archive profstore.Archive
+	// DiffCfg configures /fleet/regressions verdicts.
+	DiffCfg profdiff.Config
+	// BlameSlice is the cross-job blame grid width; default the analysis
+	// timeslice default.
+	BlameSlice vtime.Duration
+	// Now is the wall clock; injectable for tests.
+	Now func() time.Time
+	// Logger receives per-run lifecycle diagnostics; default discards.
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.WindowSlices <= 0 {
+		c.WindowSlices = 64
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 32
+	}
+	if c.BlameSlice <= 0 {
+		c.BlameSlice = grade10.DefaultTimeslice
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// runState is everything the fleet holds about one registered run. While
+// active it owns a stream engine; after teardown only the compact artifacts
+// (record, bottleneck fold, blame profile) remain, bounding fleet memory by
+// the active cap rather than the registration count.
+type runState struct {
+	name string
+	dir  string
+
+	status     RunStatus
+	err        string
+	registered time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	info    rundir.Info
+	infoSet bool
+
+	engine      *stream.Engine
+	bottlenecks []stream.BottleneckSummary
+	archiveID   string
+	makespanNS  int64
+	blame       *BlameProfile
+}
+
+func (rs *runState) requestStop() { rs.stopOnce.Do(func() { close(rs.stop) }) }
+
+// Fleet is the multi-run characterization service: a bounded set of
+// concurrent per-run stream engines behind the admission scheduler, feeding
+// one shared archive and the cross-job blame join.
+type Fleet struct {
+	cfg   Config
+	sched *Scheduler
+
+	mu    sync.Mutex
+	runs  map[string]*runState
+	order []string // registration order, for stable /fleet/runs listings
+
+	archiveMu sync.Mutex // profstore stores are not goroutine-safe
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New returns an empty fleet.
+func New(cfg Config) *Fleet {
+	cfg.fill()
+	return &Fleet{
+		cfg: cfg,
+		sched: NewScheduler(SchedulerConfig{
+			MaxActive: cfg.MaxActive, QueueDepth: cfg.QueueDepth, Now: cfg.Now,
+		}),
+		runs: map[string]*runState{},
+	}
+}
+
+// Counts reports admission state: active runs, queued runs, lifetime sheds.
+func (f *Fleet) Counts() (active, queued int, shed int64) { return f.sched.Counts() }
+
+// Register admits one run directory under its base name. The returned
+// decision says whether ingest started immediately, was queued, or was shed
+// (at which point the fleet retains nothing and the caller may retry later).
+func (f *Fleet) Register(dir string) (name string, d Decision, err error) {
+	name = filepath.Base(filepath.Clean(dir))
+	if name == "" || name == "." || name == string(filepath.Separator) {
+		return "", DecisionShed, fmt.Errorf("fleet: cannot derive a run name from %q", dir)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return "", DecisionShed, fmt.Errorf("fleet: shut down")
+	}
+	if _, dup := f.runs[name]; dup {
+		return "", DecisionShed, fmt.Errorf("fleet: run %q is already registered", name)
+	}
+	d, err = f.sched.Admit(name)
+	if err != nil {
+		return "", DecisionShed, err
+	}
+	if d == DecisionShed {
+		return name, d, nil // load-shed: counted by the scheduler, not retained
+	}
+	rs := &runState{
+		name: name, dir: dir, registered: f.cfg.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	f.runs[name] = rs
+	f.order = append(f.order, name)
+	if d == DecisionActive {
+		f.startLocked(rs)
+	} else {
+		rs.status = StatusQueued
+	}
+	return name, d, nil
+}
+
+// startLocked transitions a run to active and launches its worker.
+// Caller holds f.mu.
+func (f *Fleet) startLocked(rs *runState) {
+	rs.status = StatusActive
+	f.wg.Add(1)
+	go f.runWorker(rs)
+	if f.cfg.StallTimeout > 0 {
+		go f.stallWatch(rs)
+	}
+}
+
+// stallWatch tears the run down if run.json has not appeared StallTimeout
+// after admission. Once metadata exists the per-run Idle timeout owns
+// completion, so the watchdog stands down.
+func (f *Fleet) stallWatch(rs *runState) {
+	t := time.NewTimer(f.cfg.StallTimeout)
+	defer t.Stop()
+	select {
+	case <-rs.done:
+	case <-t.C:
+		f.mu.Lock()
+		stalled := rs.status == StatusActive && !rs.infoSet
+		if stalled {
+			rs.status = StatusStalled
+			rs.err = fmt.Sprintf("no run metadata within %s", f.cfg.StallTimeout)
+		}
+		f.mu.Unlock()
+		if stalled {
+			f.cfg.Logger.Warn("fleet run stalled", "run", rs.name, "dir", rs.dir)
+			rs.requestStop()
+		}
+	}
+}
+
+// runWorker tails one run directory to completion: the cmd/serve ingest
+// pattern (buffer until run.json reveals the models, then stream), followed
+// by finalize, archive, blame-profile build, and engine teardown.
+func (f *Fleet) runWorker(rs *runState) {
+	defer f.wg.Done()
+	defer close(rs.done)
+
+	var (
+		pendingLines []string
+		pendingRows  []rundir.MonitoringRow
+		buildErr     error
+	)
+	sink := rundir.FollowSink{
+		Info: func(info rundir.Info) {
+			e, err := f.buildEngine(info)
+			if err != nil {
+				buildErr = err
+				rs.requestStop()
+				return
+			}
+			for _, line := range pendingLines {
+				e.IngestLine(line)
+			}
+			for _, row := range pendingRows {
+				e.IngestRow(row)
+			}
+			pendingLines, pendingRows = nil, nil
+			f.mu.Lock()
+			rs.info, rs.infoSet, rs.engine = info, true, e
+			f.mu.Unlock()
+			f.cfg.Logger.Info("fleet run ingesting",
+				"run", rs.name, "engine", info.Engine, "job", info.Job, "workers", info.Workers)
+		},
+		LogLine: func(line string) {
+			f.mu.Lock()
+			e := rs.engine
+			f.mu.Unlock()
+			if e != nil {
+				e.IngestLine(line)
+			} else {
+				pendingLines = append(pendingLines, line)
+			}
+		},
+		MonitoringRow: func(row rundir.MonitoringRow) {
+			f.mu.Lock()
+			e := rs.engine
+			f.mu.Unlock()
+			if e != nil {
+				e.IngestRow(row)
+			} else {
+				pendingRows = append(pendingRows, row)
+			}
+		},
+	}
+	err := rundir.Follow(rs.dir, rundir.FollowOptions{Poll: f.cfg.Poll, Idle: f.cfg.Idle}, rs.stop, sink)
+	if err == nil {
+		err = buildErr
+	}
+	f.finishRun(rs, err)
+
+	// Free the slot and start whatever the scheduler promotes.
+	promoted := f.sched.Release(rs.name)
+	f.mu.Lock()
+	for _, name := range promoted {
+		if next, ok := f.runs[name]; ok && next.status == StatusQueued {
+			f.startLocked(next)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// finishRun finalizes the engine, archives the record, builds the blame
+// profile, and tears the engine down, settling the run's terminal status.
+func (f *Fleet) finishRun(rs *runState, followErr error) {
+	f.mu.Lock()
+	engine := rs.engine
+	stalled := rs.status == StatusStalled
+	f.mu.Unlock()
+
+	fail := func(err error) {
+		f.mu.Lock()
+		rs.engine = nil
+		if rs.status != StatusStalled {
+			rs.status = StatusFailed
+			rs.err = err.Error()
+		}
+		f.mu.Unlock()
+		f.cfg.Logger.Warn("fleet run failed", "run", rs.name, "err", err)
+	}
+	if followErr != nil {
+		fail(followErr)
+		return
+	}
+	if engine == nil {
+		if stalled {
+			return // watchdog already settled the status
+		}
+		fail(fmt.Errorf("stopped before run metadata appeared in %s", rs.dir))
+		return
+	}
+
+	out, err := engine.Finalize()
+	if err != nil {
+		fail(err)
+		return
+	}
+	snap := engine.Snapshot()
+	rec := profstore.BuildRecord(rs.info, out)
+	rec.Label = "fleet:" + rs.name
+	var archiveID string
+	if f.cfg.Archive != nil {
+		f.archiveMu.Lock()
+		meta, evicted, err := f.cfg.Archive.Put(rec)
+		f.archiveMu.Unlock()
+		if err != nil {
+			fail(fmt.Errorf("archiving: %w", err))
+			return
+		}
+		archiveID = meta.ID
+		if len(evicted) > 0 {
+			f.cfg.Logger.Info("fleet archive evicted runs", "count", len(evicted))
+		}
+	}
+	blame := BuildBlameProfile(rs.name, rs.info, out, f.cfg.BlameSlice)
+	makespan := int64(out.Trace.End.Sub(out.Trace.Start))
+
+	f.mu.Lock()
+	rs.engine = nil // teardown: the windows, provenance and raw inputs go
+	rs.status = StatusDone
+	rs.bottlenecks = snap.Bottlenecks
+	rs.makespanNS = makespan
+	rs.archiveID = archiveID
+	rs.blame = blame
+	f.mu.Unlock()
+	f.cfg.Logger.Info("fleet run done", "run", rs.name,
+		"makespan", vtime.Duration(makespan).String(), "archived", archiveID != "")
+}
+
+// buildEngine mirrors cmd/serve's sizing: models from the run metadata,
+// expected instance count from workers × monitored resources.
+func (f *Fleet) buildEngine(info rundir.Info) (*stream.Engine, error) {
+	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
+		Job:              info.Job,
+		Cores:            info.Cores,
+		NetBandwidth:     info.NetBandwidth,
+		DiskBandwidth:    info.DiskBandwidth,
+		ThreadsPerWorker: info.ThreadsPerWorker,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resources := 3 // cpu, net-in, net-out
+	if info.DiskBandwidth > 0 {
+		resources++
+	}
+	cfg := stream.Config{
+		Models:            models,
+		WindowSlices:      f.cfg.WindowSlices,
+		MaxWindows:        f.cfg.MaxWindows,
+		ExpectedInstances: info.Workers * resources,
+		RetainForFinal:    true, // exact finalize feeds the archive and blame
+		Parallelism:       f.cfg.Parallelism,
+		Explain:           f.cfg.Explain,
+	}
+	if f.cfg.Timeslice > 0 {
+		cfg.Timeslice = f.cfg.Timeslice
+	}
+	return stream.New(cfg)
+}
+
+// Watch polls watchDir for new subdirectories and registers each exactly
+// once (shed directories included — re-registering on every poll would melt
+// the shed counter; the operator can POST /fleet/runs to retry). It returns
+// when stop closes.
+func (f *Fleet) Watch(watchDir string, stop <-chan struct{}) error {
+	poll := f.cfg.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	seen := map[string]bool{}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		entries, err := os.ReadDir(watchDir)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if e.IsDir() {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			name, d, err := f.Register(filepath.Join(watchDir, n))
+			if err != nil {
+				f.cfg.Logger.Warn("fleet watch: register failed", "dir", n, "err", err)
+				continue
+			}
+			f.cfg.Logger.Info("fleet watch: discovered run", "run", name, "decision", d.String())
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// Shutdown requests every run to stop and drains the workers — in-flight
+// window flushes and finalizes complete (each terminal run still archives)
+// — until ctx expires.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	states := make([]*runState, 0, len(f.runs))
+	for _, rs := range f.runs {
+		states = append(states, rs)
+	}
+	f.mu.Unlock()
+	for _, rs := range states {
+		rs.requestStop()
+	}
+	done := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: shutdown timed out with runs still draining: %w", ctx.Err())
+	}
+}
+
+// RunView is one run's row in /fleet/runs.
+type RunView struct {
+	Name       string    `json:"name"`
+	Dir        string    `json:"dir"`
+	Status     RunStatus `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	Engine     string    `json:"engine,omitempty"`
+	Job        string    `json:"job,omitempty"`
+	Workers    int       `json:"workers,omitempty"`
+	ArchiveID  string    `json:"archive_id,omitempty"`
+	MakespanNS int64     `json:"makespan_ns,omitempty"`
+	// StalenessSeconds is wall-clock time since the run last ingested
+	// anything; only meaningful while active.
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+}
+
+// FleetSnapshot is the /fleet/runs payload.
+type FleetSnapshot struct {
+	Active    int       `json:"active"`
+	Queued    int       `json:"queued"`
+	ShedTotal int64     `json:"shed_total"`
+	Runs      []RunView `json:"runs"`
+}
+
+// Snapshot lists every retained run in registration order plus the
+// admission counters.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	active, queued, shed := f.sched.Counts()
+	snap := FleetSnapshot{Active: active, Queued: queued, ShedTotal: shed}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, name := range f.order {
+		rs := f.runs[name]
+		v := RunView{
+			Name: rs.name, Dir: rs.dir, Status: rs.status, Error: rs.err,
+			ArchiveID: rs.archiveID, MakespanNS: rs.makespanNS,
+		}
+		if rs.infoSet {
+			v.Engine, v.Job, v.Workers = rs.info.Engine, rs.info.Job, rs.info.Workers
+		}
+		if rs.engine != nil {
+			if age, finalized := rs.engine.IngestAge(); !finalized {
+				v.StalenessSeconds = age.Seconds()
+			}
+		}
+		snap.Runs = append(snap.Runs, v)
+	}
+	return snap
+}
+
+// Staleness reports per-run ingest age (seconds) for runs that are actively
+// ingesting — the source for the per-run staleness gauges.
+func (f *Fleet) Staleness() map[string]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]float64{}
+	for _, rs := range f.runs {
+		if rs.engine == nil {
+			continue
+		}
+		if age, finalized := rs.engine.IngestAge(); !finalized {
+			out[rs.name] = age.Seconds()
+		}
+	}
+	return out
+}
+
+// FleetBottleneck tags one bottleneck aggregate with the run it came from.
+type FleetBottleneck struct {
+	Run      string  `json:"run"`
+	TypePath string  `json:"type_path"`
+	Resource string  `json:"resource"`
+	Kind     string  `json:"kind"`
+	Seconds  float64 `json:"seconds"`
+	Phases   int     `json:"phases"`
+	Windows  int     `json:"windows"`
+}
+
+// Bottlenecks ranks bottlenecks across every run — live engine folds for
+// active runs, the retained fold for finished ones — by blocked/contended
+// seconds, returning the top k (k<=0 means all).
+func (f *Fleet) Bottlenecks(k int) []FleetBottleneck {
+	f.mu.Lock()
+	var all []FleetBottleneck
+	for _, name := range f.order {
+		rs := f.runs[name]
+		rows := rs.bottlenecks
+		if rs.engine != nil {
+			rows = rs.engine.Snapshot().Bottlenecks
+		}
+		for _, b := range rows {
+			all = append(all, FleetBottleneck{
+				Run: rs.name, TypePath: b.TypePath, Resource: b.Resource,
+				Kind: b.Kind, Seconds: b.Seconds, Phases: b.Phases, Windows: b.Windows,
+			})
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Seconds != b.Seconds {
+			return a.Seconds > b.Seconds
+		}
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.TypePath != b.TypePath {
+			return a.TypePath < b.TypePath
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.Kind < b.Kind
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Regression is one cross-run diff verdict for /fleet/regressions.
+type Regression struct {
+	Engine  string `json:"engine"`
+	Job     string `json:"job"`
+	Workers int    `json:"workers"`
+	BaseID  string `json:"base_id"`
+	NewID   string `json:"new_id"`
+	Verdict string `json:"verdict"`
+	// MakespanRelChange is (new-base)/base; positive is slower.
+	MakespanRelChange float64 `json:"makespan_rel_change"`
+	BaseMakespanNS    int64   `json:"base_makespan_ns"`
+	NewMakespanNS     int64   `json:"new_makespan_ns"`
+}
+
+// Regressions diffs consecutive archived runs of the same (engine, job,
+// workers) configuration and ranks the verdicts by |relative makespan
+// change|, returning the top k (k<=0 means all). Corrupt records are
+// skipped (counted by the sharded store), not fatal.
+func (f *Fleet) Regressions(k int) ([]Regression, error) {
+	if f.cfg.Archive == nil {
+		return nil, fmt.Errorf("fleet: no archive configured")
+	}
+	f.archiveMu.Lock()
+	metas := f.cfg.Archive.List()
+	type key struct {
+		engine, job string
+		workers     int
+	}
+	groups := map[key][]profstore.Meta{}
+	var order []key
+	for _, m := range metas { // List is Seq-ascending already
+		kk := key{m.Engine, m.Job, m.Workers}
+		if _, ok := groups[kk]; !ok {
+			order = append(order, kk)
+		}
+		groups[kk] = append(groups[kk], m)
+	}
+	var out []Regression
+	for _, kk := range order {
+		ms := groups[kk]
+		for i := 1; i < len(ms); i++ {
+			base, err := f.cfg.Archive.Get(ms[i-1].ID)
+			if err != nil {
+				continue // corrupt or evicted: skip the pair
+			}
+			next, err := f.cfg.Archive.Get(ms[i].ID)
+			if err != nil {
+				continue
+			}
+			rep, err := profdiff.Diff(base, next, f.cfg.DiffCfg)
+			if err != nil {
+				continue
+			}
+			out = append(out, Regression{
+				Engine: kk.engine, Job: kk.job, Workers: kk.workers,
+				BaseID: base.ID, NewID: next.ID,
+				Verdict:           string(rep.Verdict),
+				MakespanRelChange: rep.MakespanRelChange,
+				BaseMakespanNS:    base.MakespanNS,
+				NewMakespanNS:     next.MakespanNS,
+			})
+		}
+	}
+	f.archiveMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].MakespanRelChange), abs(out[j].MakespanRelChange)
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].NewID != out[j].NewID {
+			return out[i].NewID < out[j].NewID
+		}
+		return out[i].BaseID < out[j].BaseID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Blame joins the target's demand against every other finished run's and
+// returns the cross-job blame report. Only runs that finalized (StatusDone)
+// participate — an in-flight neighbor has no settled demand timeline yet.
+func (f *Fleet) Blame(target string) (*BlameReport, error) {
+	f.mu.Lock()
+	var profiles []*BlameProfile
+	for _, name := range f.order {
+		rs := f.runs[name]
+		if rs.status == StatusDone && rs.blame != nil {
+			profiles = append(profiles, rs.blame)
+		}
+	}
+	f.mu.Unlock()
+	return Blame(profiles, target, BlameConfig{
+		SliceWidth:  f.cfg.BlameSlice,
+		Parallelism: f.cfg.Parallelism,
+	})
+}

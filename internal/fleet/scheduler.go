@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Decision is the admission scheduler's verdict on one registration.
+type Decision int
+
+const (
+	// DecisionActive admits the run immediately: an active slot was free.
+	DecisionActive Decision = iota
+	// DecisionQueued parks the run in the FIFO backlog until a slot frees.
+	DecisionQueued
+	// DecisionShed rejects the run: active slots and queue are both full.
+	// Shedding is load protection, not failure — the caller may re-register
+	// once /fleet/runs shows capacity.
+	DecisionShed
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionActive:
+		return "active"
+	case DecisionQueued:
+		return "queued"
+	case DecisionShed:
+		return "shed"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// SchedulerConfig bounds the admission scheduler.
+type SchedulerConfig struct {
+	// MaxActive caps concurrently ingesting runs; default 8.
+	MaxActive int
+	// QueueDepth caps the admission backlog; registrations beyond
+	// MaxActive+QueueDepth are shed. Default 64.
+	QueueDepth int
+	// Now is the wall clock (injectable for tests); default time.Now.
+	Now func() time.Time
+}
+
+func (c *SchedulerConfig) fill() {
+	if c.MaxActive <= 0 {
+		c.MaxActive = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// queuedRun is one backlog entry.
+type queuedRun struct {
+	id string
+	at time.Time
+}
+
+// Scheduler is the fleet's bounded admission scheduler: at most MaxActive
+// runs ingest concurrently, at most QueueDepth wait behind them, and
+// everything beyond that is shed (counted). It holds pure admission state —
+// no goroutines — so burst behavior is deterministic and testable with a
+// fake clock; the Fleet wraps it with the actual per-run workers.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu        sync.Mutex
+	active    map[string]time.Time // run id -> admit time
+	queue     []queuedRun
+	shedTotal int64
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	cfg.fill()
+	return &Scheduler{cfg: cfg, active: map[string]time.Time{}}
+}
+
+// Admit decides one registration: an active slot if one is free, else the
+// queue if it has room, else shed. Duplicate IDs (already active or queued)
+// are an error.
+func (s *Scheduler) Admit(id string) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.active[id]; dup {
+		return DecisionShed, fmt.Errorf("fleet: run %q is already active", id)
+	}
+	for _, q := range s.queue {
+		if q.id == id {
+			return DecisionShed, fmt.Errorf("fleet: run %q is already queued", id)
+		}
+	}
+	switch {
+	case len(s.active) < s.cfg.MaxActive:
+		s.active[id] = s.cfg.Now()
+		return DecisionActive, nil
+	case len(s.queue) < s.cfg.QueueDepth:
+		s.queue = append(s.queue, queuedRun{id: id, at: s.cfg.Now()})
+		return DecisionQueued, nil
+	default:
+		s.shedTotal++
+		return DecisionShed, nil
+	}
+}
+
+// Release frees the run's active slot (or removes it from the queue) and
+// promotes queued runs FIFO into the freed capacity, returning the promoted
+// IDs in admission order. Unknown IDs are a no-op.
+func (s *Scheduler) Release(id string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.active[id]; ok {
+		delete(s.active, id)
+	} else {
+		for i, q := range s.queue {
+			if q.id == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	var promoted []string
+	for len(s.queue) > 0 && len(s.active) < s.cfg.MaxActive {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active[next.id] = s.cfg.Now()
+		promoted = append(promoted, next.id)
+	}
+	return promoted
+}
+
+// Counts reports the live admission state: active runs, queued runs, and the
+// lifetime shed total.
+func (s *Scheduler) Counts() (active, queued int, shed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active), len(s.queue), s.shedTotal
+}
+
+// ActiveSince returns when the run was admitted to an active slot.
+func (s *Scheduler) ActiveSince(id string) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.active[id]
+	return t, ok
+}
+
+// QueueWait returns how long the run has been waiting in the backlog.
+func (s *Scheduler) QueueWait(id string) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range s.queue {
+		if q.id == id {
+			return s.cfg.Now().Sub(q.at), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"grade10/internal/obs"
+)
+
+// Server is the fleet-mode HTTP surface:
+//
+//	GET  /fleet/runs           admission counters + every retained run
+//	POST /fleet/runs           register a run directory: {"dir": "..."}
+//	GET  /fleet/bottlenecks    top-K bottlenecks across all runs (?k=)
+//	GET  /fleet/regressions    top-K archive diff verdicts (?k=)
+//	GET  /fleet/blame          cross-job blame report (?run=)
+//	GET  /metrics              Prometheus text (when a registry is attached)
+//	GET  /healthz              liveness
+type Server struct {
+	fleet *Fleet
+	mux   *http.ServeMux
+
+	reg       *obs.Registry
+	staleness *obs.GaugeVec
+	staleSeen map[string]bool
+}
+
+// NewServer wires the fleet behind its HTTP API.
+func NewServer(f *Fleet) *Server {
+	s := &Server{fleet: f, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/fleet/runs", s.handleRuns)
+	s.mux.HandleFunc("/fleet/bottlenecks", s.handleBottlenecks)
+	s.mux.HandleFunc("/fleet/regressions", s.handleRegressions)
+	s.mux.HandleFunc("/fleet/blame", s.handleBlame)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RegisterMetrics exposes the fleet's backpressure counters and the per-run
+// staleness gauges on reg, and routes /metrics through it.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	s.reg = reg
+	reg.GaugeFunc("grade10_fleet_runs_active",
+		"Runs currently ingesting (bounded by the admission scheduler).",
+		func() float64 { a, _, _ := s.fleet.Counts(); return float64(a) })
+	reg.GaugeFunc("grade10_fleet_runs_queued",
+		"Runs waiting in the admission backlog.",
+		func() float64 { _, q, _ := s.fleet.Counts(); return float64(q) })
+	reg.GaugeFunc("grade10_fleet_runs_shed_total",
+		"Registrations rejected because active slots and queue were full.",
+		func() float64 { _, _, sh := s.fleet.Counts(); return float64(sh) })
+	s.staleness = reg.GaugeVec("grade10_fleet_run_staleness_seconds",
+		"Wall-clock seconds since each active run last ingested input.", "run")
+	s.staleSeen = map[string]bool{}
+}
+
+// refreshStaleness re-points the per-run gauges at the current active set,
+// deleting series for runs that finished (graceful metric teardown).
+func (s *Server) refreshStaleness() {
+	if s.staleness == nil {
+		return
+	}
+	ages := s.fleet.Staleness()
+	for run := range s.staleSeen {
+		if _, live := ages[run]; !live {
+			s.staleness.Delete(run)
+			delete(s.staleSeen, run)
+		}
+	}
+	for run, age := range ages {
+		s.staleness.With(run).Set(age)
+		s.staleSeen[run] = true
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+		return
+	}
+	s.refreshStaleness()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, s.fleet.Snapshot())
+	case http.MethodPost:
+		var req struct {
+			Dir string `json:"dir"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Dir) == "" {
+			http.Error(w, `expected JSON body {"dir": "<run directory>"}`, http.StatusBadRequest)
+			return
+		}
+		name, d, err := s.fleet.Register(req.Dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		status := http.StatusAccepted
+		if d == DecisionShed {
+			// 429: the fleet is at capacity; the caller may retry later.
+			status = http.StatusTooManyRequests
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		writeJSONBody(w, map[string]string{"run": name, "decision": d.String()})
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleBottlenecks(w http.ResponseWriter, r *http.Request) {
+	k := queryInt(r, "k", 10)
+	writeJSON(w, map[string]any{"bottlenecks": s.fleet.Bottlenecks(k)})
+}
+
+func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
+	k := queryInt(r, "k", 10)
+	regs, err := s.fleet.Regressions(k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"regressions": regs})
+}
+
+func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
+	run := r.URL.Query().Get("run")
+	if run == "" {
+		http.Error(w, "missing ?run=<name>", http.StatusBadRequest)
+		return
+	}
+	rep, err := s.fleet.Blame(run)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -242,6 +242,20 @@ func (f *family) get(labelValues []string) *child {
 	return c
 }
 
+// delete removes one labeled child; missing children are a no-op.
+func (f *family) delete(labelValues []string) {
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		return
+	}
+	delete(f.children, key)
+	if i := sort.SearchStrings(f.order, key); i < len(f.order) && f.order[i] == key {
+		f.order = append(f.order[:i], f.order[i+1:]...)
+	}
+}
+
 // Registry holds metric families and renders them in Prometheus text format.
 // Families appear in registration order; children within a family in sorted
 // label-value order — so repeated scrapes of the same state are
@@ -293,6 +307,13 @@ func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVe
 	return &CounterVec{f: f}
 }
 
+// GaugeVec registers a labeled gauge family; With resolves children and
+// Delete drops them (per-run gauges disappear when their run tears down).
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	f := r.family(name, help, kindGauge, labelKeys, nil)
+	return &GaugeVec{f: f}
+}
+
 // Gauge registers (or fetches) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.family(name, help, kindGauge, nil, nil)
@@ -339,6 +360,26 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys 
 	}
 	f := r.family(name, help, kindHistogram, labelKeys, buckets)
 	return &HistogramVec{f: f}
+}
+
+// GaugeVec resolves labeled gauges.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.get(labelValues).gauge
+}
+
+// Delete removes the child with the given label values from the exposition;
+// a missing child is a no-op.
+func (v *GaugeVec) Delete(labelValues ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.delete(labelValues)
 }
 
 // CounterVec resolves labeled counters.

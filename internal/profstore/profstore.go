@@ -371,7 +371,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if err := json.Unmarshal(data, &s.idx); err != nil {
-		return nil, fmt.Errorf("profstore: parsing %s: %w", indexFile, err)
+		return nil, &CorruptIndexError{Path: filepath.Join(dir, indexFile), Err: err}
 	}
 	if s.idx.Version == 0 {
 		s.idx.Version = 1
@@ -397,14 +397,22 @@ func (s *Store) List() []Meta { return append([]Meta(nil), s.idx.Runs...) }
 // already present replaces the record in place at a fresh sequence number.
 // It returns the stored meta and the IDs evicted by this append.
 func (s *Store) Put(rec *Record) (Meta, []string, error) {
+	return s.putAt(rec, s.idx.NextSeq)
+}
+
+// putAt is Put with a caller-assigned sequence number — the hook the sharded
+// store uses to keep one global append order across shard indexes.
+func (s *Store) putAt(rec *Record, seq int64) (Meta, []string, error) {
 	if rec.Version == 0 {
 		rec.Version = Version
 	}
 	if rec.ID == "" {
 		rec.ID = ContentID(rec)
 	}
-	rec.Seq = s.idx.NextSeq
-	s.idx.NextSeq++
+	rec.Seq = seq
+	if seq >= s.idx.NextSeq {
+		s.idx.NextSeq = seq + 1
+	}
 	meta := Meta{ID: rec.ID, Seq: rec.Seq, Label: rec.Label, Engine: rec.Engine,
 		Job: rec.Job, Workers: rec.Workers, MakespanNS: rec.MakespanNS}
 
@@ -453,7 +461,7 @@ func (s *Store) Get(id string) (*Record, error) {
 	}
 	rec := &Record{}
 	if err := json.Unmarshal(data, rec); err != nil {
-		return nil, fmt.Errorf("profstore: parsing run %s: %w", meta.ID, err)
+		return nil, &CorruptRecordError{Path: s.runPath(meta.ID), Err: err}
 	}
 	if rec.Version == 0 {
 		rec.Version = 1

@@ -1,0 +1,363 @@
+package profstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// ErrCorruptIndex matches (via errors.Is) every CorruptIndexError, so callers
+// can branch on "the archive metadata is damaged" without caring which shard.
+var ErrCorruptIndex = errors.New("profstore: corrupt index")
+
+// ErrCorruptRecord matches (via errors.Is) every CorruptRecordError.
+var ErrCorruptRecord = errors.New("profstore: corrupt record")
+
+// CorruptIndexError reports an index file that exists but does not parse.
+// Path is the offending file (the single index.json, a shard's index, or the
+// sharded layout's shards.json).
+type CorruptIndexError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptIndexError) Error() string {
+	return fmt.Sprintf("profstore: corrupt index %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptIndexError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCorruptIndex) true for every CorruptIndexError.
+func (e *CorruptIndexError) Is(target error) bool { return target == ErrCorruptIndex }
+
+// CorruptRecordError reports an archived record file that does not parse.
+type CorruptRecordError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("profstore: corrupt record %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptRecordError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCorruptRecord) true for every CorruptRecordError.
+func (e *CorruptRecordError) Is(target error) bool { return target == ErrCorruptRecord }
+
+// Archive is the run-archive surface shared by the single-index Store and the
+// sharded store, so every consumer (CLI, serve, fleet) works against either
+// layout.
+type Archive interface {
+	// Len returns the number of retained runs.
+	Len() int
+	// EvictedTotal returns the runs evicted over the archive's lifetime.
+	EvictedTotal() int64
+	// List returns the retained runs in append order (ascending Seq).
+	List() []Meta
+	// Put archives a record (see Store.Put).
+	Put(rec *Record) (Meta, []string, error)
+	// Get loads one record by ID or unique ID prefix.
+	Get(id string) (*Record, error)
+	// Resolve maps an ID or unique ID prefix to its index entry.
+	Resolve(id string) (Meta, error)
+}
+
+var (
+	_ Archive = (*Store)(nil)
+	_ Archive = (*ShardedStore)(nil)
+)
+
+// ShardedOptions tunes a sharded archive.
+type ShardedOptions struct {
+	// Shards is the shard count; once a layout is created its count is fixed
+	// (recorded in shards.json) and this field is ignored on reopen. Default 4.
+	Shards int
+	// MaxRunsPerShard bounds retention per shard; 0 means unlimited. Shard
+	// assignment is uniform over content-hash IDs, so the archive retains
+	// about Shards×MaxRunsPerShard runs.
+	MaxRunsPerShard int
+}
+
+// shardMeta is the persisted top-level state of a sharded archive.
+type shardMeta struct {
+	Version int   `json:"version"`
+	Shards  int   `json:"shards"`
+	NextSeq int64 `json:"next_seq"`
+	// EvictedBase carries evictions inherited from a migrated single-index
+	// archive, so EvictedTotal survives the layout change.
+	EvictedBase int64 `json:"evicted_base,omitempty"`
+}
+
+// ShardedStore is an on-disk run archive split into N single-index shards by
+// run-ID prefix, so the index scales past one file:
+//
+//	<dir>/shards.json          shard count and the global sequence counter
+//	<dir>/shard-<k>/index.json per-shard metadata
+//	<dir>/shard-<k>/runs/      per-shard record files
+//
+// Sequence numbers are allocated globally (shards.json), so List — the
+// merge of every shard in Seq order — is identical to what a single-index
+// store would have produced. Like Store, methods are safe for one goroutine;
+// serving layers add their own lock.
+type ShardedStore struct {
+	dir    string
+	meta   shardMeta
+	shards []*Store
+
+	corruptShards  int64
+	corruptRecords int64
+	shardErrs      []error
+}
+
+const shardMetaFile = "shards.json"
+
+// shardOf deterministically assigns a run ID to a shard by its hex prefix
+// (content IDs are hex); non-hex IDs fall back to a byte sum. Both paths
+// depend only on the ID, so the same run lands in the same shard forever.
+func shardOf(id string, n int) int {
+	if len(id) >= 2 {
+		if v, err := strconv.ParseUint(id[:2], 16, 8); err == nil {
+			return int(v) % n
+		}
+	}
+	sum := 0
+	for i := 0; i < len(id); i++ {
+		sum += int(id[i])
+	}
+	return sum % n
+}
+
+func shardDir(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%02d", k))
+}
+
+// OpenSharded opens (or creates) the sharded archive at dir. A directory
+// holding the legacy single-index layout (index.json) is migrated in place:
+// every retained record is re-filed into its shard with its sequence number,
+// ID, and label preserved, so List() is unchanged across the migration.
+// Records that fail to parse during migration are skipped and counted
+// (CorruptRecords), never fatal; a corrupt shard index on reopen is likewise
+// skipped and counted (CorruptShards) so one damaged file cannot take down
+// the whole archive.
+func OpenSharded(dir string, opts ShardedOptions) (*ShardedStore, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &ShardedStore{dir: dir, meta: shardMeta{Version: Version, Shards: opts.Shards}}
+
+	metaPath := filepath.Join(dir, shardMetaFile)
+	data, err := os.ReadFile(metaPath)
+	switch {
+	case err == nil:
+		if jerr := json.Unmarshal(data, &s.meta); jerr != nil {
+			return nil, &CorruptIndexError{Path: metaPath, Err: jerr}
+		}
+		if s.meta.Shards <= 0 {
+			return nil, &CorruptIndexError{Path: metaPath, Err: fmt.Errorf("shard count %d", s.meta.Shards)}
+		}
+		if s.meta.Version > Version {
+			return nil, fmt.Errorf("profstore: %s is version %d, this build reads up to %d",
+				metaPath, s.meta.Version, Version)
+		}
+	case os.IsNotExist(err):
+		// Fresh layout — unless a legacy single-index archive is present,
+		// in which case migrate it below once the shards exist.
+	default:
+		return nil, err
+	}
+
+	shardOpts := Options{MaxRuns: opts.MaxRunsPerShard}
+	s.shards = make([]*Store, s.meta.Shards)
+	for k := range s.shards {
+		sh, err := Open(shardDir(dir, k), shardOpts)
+		if err != nil {
+			var ce *CorruptIndexError
+			if errors.As(err, &ce) {
+				// Quarantine the damaged index and continue with an empty
+				// shard: its listing is lost, the archive is not.
+				s.corruptShards++
+				s.shardErrs = append(s.shardErrs, ce)
+				_ = os.Rename(ce.Path, ce.Path+".corrupt")
+				if sh, err = Open(shardDir(dir, k), shardOpts); err != nil {
+					return nil, err
+				}
+			} else {
+				return nil, err
+			}
+		}
+		s.shards[k] = sh
+	}
+
+	if err == nil { // shards.json existed: nothing to migrate
+		return s, nil
+	}
+	if merr := s.migrateLegacy(); merr != nil {
+		return nil, merr
+	}
+	if werr := s.writeMeta(); werr != nil {
+		return nil, werr
+	}
+	return s, nil
+}
+
+// migrateLegacy re-files a single-index archive rooted at s.dir into the
+// shards, preserving IDs, labels, and sequence numbers. Corrupt record files
+// are skipped and counted. The legacy index and record files are removed only
+// after every readable record has been re-filed.
+func (s *ShardedStore) migrateLegacy() error {
+	if _, err := os.Stat(filepath.Join(s.dir, indexFile)); err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh archive
+		}
+		return err
+	}
+	old, err := Open(s.dir, Options{})
+	if err != nil {
+		return err // typed CorruptIndexError surfaces the damaged path
+	}
+	for _, m := range old.List() {
+		rec, err := old.Get(m.ID)
+		if err != nil {
+			if errors.Is(err, ErrCorruptRecord) {
+				s.corruptRecords++
+				continue
+			}
+			return err
+		}
+		sh := s.shards[shardOf(m.ID, s.meta.Shards)]
+		if _, _, err := sh.putAt(rec, m.Seq); err != nil {
+			return err
+		}
+	}
+	s.meta.NextSeq = old.idx.NextSeq
+	s.meta.EvictedBase = old.idx.EvictedTotal
+	if err := os.Remove(filepath.Join(s.dir, indexFile)); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(s.dir, runsDir))
+}
+
+func (s *ShardedStore) writeMeta() error {
+	data, err := json.MarshalIndent(&s.meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, shardMetaFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Shards returns the shard count of the opened layout.
+func (s *ShardedStore) Shards() int { return s.meta.Shards }
+
+// CorruptShards returns how many shard indexes were skipped as corrupt when
+// the archive was opened.
+func (s *ShardedStore) CorruptShards() int64 { return s.corruptShards }
+
+// CorruptRecords returns how many record files were skipped as corrupt
+// (during migration or Get) over the store's lifetime.
+func (s *ShardedStore) CorruptRecords() int64 { return s.corruptRecords }
+
+// ShardErrors returns the typed errors of shards skipped at open.
+func (s *ShardedStore) ShardErrors() []error { return append([]error(nil), s.shardErrs...) }
+
+// Len returns the number of retained runs across all shards.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// EvictedTotal returns lifetime evictions across all shards, including those
+// inherited from a migrated single-index archive.
+func (s *ShardedStore) EvictedTotal() int64 {
+	n := s.meta.EvictedBase
+	for _, sh := range s.shards {
+		n += sh.EvictedTotal()
+	}
+	return n
+}
+
+// List merges every shard's runs in ascending Seq order — the same append
+// order a single-index store would report.
+func (s *ShardedStore) List() []Meta {
+	var out []Meta
+	for _, sh := range s.shards {
+		out = append(out, sh.idx.Runs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Put archives the record into its ID's shard at the next global sequence
+// number, then applies that shard's retention. Semantics match Store.Put:
+// re-archiving an existing ID replaces it in place (same shard, fresh Seq).
+func (s *ShardedStore) Put(rec *Record) (Meta, []string, error) {
+	if rec.ID == "" {
+		if rec.Version == 0 {
+			rec.Version = Version
+		}
+		rec.ID = ContentID(rec)
+	}
+	seq := s.meta.NextSeq
+	s.meta.NextSeq++
+	if err := s.writeMeta(); err != nil {
+		return Meta{}, nil, err
+	}
+	return s.shards[shardOf(rec.ID, s.meta.Shards)].putAt(rec, seq)
+}
+
+// Get loads one record by ID or unique ID prefix. Corrupt record files are
+// counted before the typed error is returned, so callers that skip them
+// (fleet regression scans) leave an audit trail.
+func (s *ShardedStore) Get(id string) (*Record, error) {
+	meta, err := s.Resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := s.shards[shardOf(meta.ID, s.meta.Shards)].Get(meta.ID)
+	if err != nil && errors.Is(err, ErrCorruptRecord) {
+		s.corruptRecords++
+	}
+	return rec, err
+}
+
+// Resolve maps an ID or unique ID prefix to its index entry, searching every
+// shard (a prefix shorter than two hex digits cannot pick a shard).
+func (s *ShardedStore) Resolve(id string) (Meta, error) {
+	if id == "" {
+		return Meta{}, fmt.Errorf("profstore: empty run id")
+	}
+	var match *Meta
+	for _, sh := range s.shards {
+		for i := range sh.idx.Runs {
+			m := &sh.idx.Runs[i]
+			if m.ID == id {
+				return *m, nil
+			}
+			if len(id) >= 4 && len(id) < len(m.ID) && m.ID[:len(id)] == id {
+				if match != nil && match.ID != m.ID {
+					return Meta{}, fmt.Errorf("profstore: run id prefix %q is ambiguous", id)
+				}
+				match = m
+			}
+		}
+	}
+	if match == nil {
+		return Meta{}, fmt.Errorf("profstore: no run %q in %s", id, s.dir)
+	}
+	return *match, nil
+}

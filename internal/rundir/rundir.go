@@ -44,6 +44,29 @@ type Info struct {
 	// StartNS and EndNS bound the run in virtual nanoseconds.
 	StartNS int64 `json:"start_ns"`
 	EndNS   int64 `json:"end_ns"`
+	// Placement is the co-scheduling manifest: which shared physical host
+	// each run-local machine executed on. Runs naming the same host are
+	// co-scheduled there, which is what fleet cross-job blame joins on. The
+	// field is optional and additive (absent = the run had its machines to
+	// itself), so it stays within schema version 1.
+	Placement []Placement `json:"placement,omitempty"`
+}
+
+// Placement maps one run-local machine index onto a shared physical host.
+type Placement struct {
+	Machine int    `json:"machine"`
+	Host    string `json:"host"`
+}
+
+// HostOf returns the shared host the run-local machine was placed on, or ""
+// when the manifest does not cover it.
+func (i Info) HostOf(machine int) string {
+	for _, p := range i.Placement {
+		if p.Machine == machine {
+			return p.Host
+		}
+	}
+	return ""
 }
 
 // Run is a fully loaded run directory.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Info != run.Info {
+	if !reflect.DeepEqual(back.Info, run.Info) {
 		t.Fatalf("info %+v vs %+v", back.Info, run.Info)
 	}
 	if len(back.Log.Events) != len(run.Log.Events) {

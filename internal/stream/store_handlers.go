@@ -11,12 +11,13 @@ import (
 	"grade10/internal/profstore"
 )
 
-// storeState guards the profile archive behind the HTTP handlers: the
-// profstore.Store is not internally synchronized, and serve archives the
-// finalized run while scrapes may already be reading /runs.
+// storeState guards the profile archive behind the HTTP handlers: profstore
+// archives (single-index or sharded) are not internally synchronized, and
+// serve archives the finalized run while scrapes may already be reading
+// /runs.
 type storeState struct {
 	mu      sync.Mutex
-	store   *profstore.Store
+	store   profstore.Archive
 	diffCfg profdiff.Config
 
 	// lastDiffRegressed is the /metrics watchdog gauge: 0 until a diff has
@@ -33,7 +34,7 @@ type storeState struct {
 //
 // and the store-fed families registered by RegisterStoreMetrics. diffCfg
 // zero-values take profdiff defaults. Set before serving traffic.
-func (s *Server) SetStore(store *profstore.Store, diffCfg profdiff.Config) {
+func (s *Server) SetStore(store profstore.Archive, diffCfg profdiff.Config) {
 	s.store = &storeState{store: store, diffCfg: diffCfg}
 	s.mux.HandleFunc("/runs", s.handleRuns)
 	s.mux.HandleFunc("/runs/", s.handleRunByID)
