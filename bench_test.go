@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"grade10/internal/attribution"
+	"grade10/internal/attribution/reference"
 	"grade10/internal/bottleneck"
 	"grade10/internal/cluster"
 	"grade10/internal/core"
@@ -34,6 +35,7 @@ import (
 	"grade10/internal/metrics"
 	"grade10/internal/pgsim"
 	"grade10/internal/profstore"
+	"grade10/internal/race"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
 	"grade10/internal/vertexprog"
@@ -450,6 +452,69 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkEnginelogParse decodes the same fixture log from both on-disk
+// formats; MB/s is over the encoded size, so the binary side reflects both
+// the smaller encoding and the cheaper decode.
+func BenchmarkEnginelogParse(b *testing.B) {
+	cfg := giraphsim.DefaultConfig()
+	cfg.Workers = 4
+	run, err := workload.RunGiraph(workload.Spec{
+		Dataset:   workload.Dataset{Name: "bench-parse", Gen: func() *graph.Graph { return graph.RMAT(11, 8, 42) }},
+		Algorithm: "pagerank"}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var textBuf, binBuf bytes.Buffer
+	if err := enginelog.Write(&textBuf, run.Result.Log); err != nil {
+		b.Fatal(err)
+	}
+	if err := enginelog.WriteBinary(&binBuf, run.Result.Log); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("format=text", func(b *testing.B) {
+		b.SetBytes(int64(textBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := enginelog.ReadStats(bytes.NewReader(textBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("format=binary", func(b *testing.B) {
+		b.SetBytes(int64(binBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := enginelog.ReadStatsAny(bytes.NewReader(binBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAttributionColumnar compares the columnar core against the frozen
+// row-based oracle in internal/attribution/reference, both serial. The two
+// produce bit-identical profiles (see the reference equivalence tests); only
+// wall-clock and allocations should differ.
+func BenchmarkAttributionColumnar(b *testing.B) {
+	tr, rt, rules, slices := analyzerFixture(b)
+	leaves := tr.Leaves()
+	b.Run("impl=reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reference.Attribute(leaves, rt, rules, slices, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("impl=columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+				slices, 1, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Serial vs parallel pipeline benchmarks ---
 
 // benchWorkerCounts are the pool sizes the parallel benchmarks sweep.
@@ -505,6 +570,9 @@ func BenchmarkAttributionProvenance(b *testing.B) {
 func TestAttributionNilRecorderZeroAlloc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full attribution pass; skipped with -short")
+	}
+	if race.Enabled {
+		t.Skip("race mode randomly bypasses sync.Pool; alloc counts are nondeterministic")
 	}
 	tr, rt, rules, slices := analyzerFixture(t)
 	// A GC cycle mid-measurement flushes attribution's scratch pools and
@@ -654,6 +722,15 @@ func TestWriteBenchPipeline(t *testing.T) {
 		return s
 	}
 
+	// Both serializations of the fixture log, for the parse stage.
+	var textLog, binLog bytes.Buffer
+	if err := enginelog.Write(&textLog, fixRun.Result.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := enginelog.WriteBinary(&binLog, fixRun.Result.Log); err != nil {
+		t.Fatal(err)
+	}
+
 	leaves := tr.Leaves()
 	stages := []stage{
 		timeStage("attribution", func(w int) {
@@ -682,6 +759,47 @@ func TestWriteBenchPipeline(t *testing.T) {
 				}
 			}},
 		}),
+		// Enginelog decode: the same fixture log in both on-disk formats.
+		// Binary regressing below text speed fails the harness (see below).
+		timeConfigs("enginelog_parse", "format=text", []config{
+			{"format=text", func() {
+				if _, _, err := enginelog.ReadStats(bytes.NewReader(textLog.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+			}},
+			{"format=binary", func() {
+				if _, _, _, err := enginelog.ReadStatsAny(bytes.NewReader(binLog.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		}),
+		// Columnar attribution core vs the frozen row-based oracle, both
+		// serial, so the delta is layout/pooling rather than parallelism.
+		timeConfigs("attribution_columnar", "impl=reference", []config{
+			{"impl=reference", func() {
+				if _, err := reference.Attribute(leaves, rt, rules, slices, nil); err != nil {
+					t.Fatal(err)
+				}
+			}},
+			{"impl=columnar", func() {
+				if _, err := attribution.AttributeWindowProv(tr, leaves, rt, rules,
+					slices, 1, nil, nil); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		}),
+	}
+
+	// The binary format exists to be faster; a bench run where it is not is a
+	// regression, and CI runs this harness as its bench smoke.
+	for _, s := range stages {
+		if s.Name != "enginelog_parse" {
+			continue
+		}
+		txt, bin := s.NsPerOp["format=text"], s.NsPerOp["format=binary"]
+		if bin >= txt {
+			t.Errorf("binary enginelog decode (%.0f ns/op) not faster than text (%.0f ns/op)", bin, txt)
+		}
 	}
 
 	// Archive the characterized fixture run with the stage timings attached,

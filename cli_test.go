@@ -71,11 +71,25 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	// Re-analysis with the dumped models matches the built-in analysis
-	// (ignoring stderr diagnostics like "grade10: wrote ...").
+	// (ignoring stderr diagnostics like "grade10: wrote ..." and the
+	// wall-clock decode-throughput footer line, which is host-dependent).
 	stripDiag := func(s string) string {
 		var keep []string
 		for _, line := range strings.Split(s, "\n") {
-			if strings.HasPrefix(line, "grade10: ") {
+			if strings.HasPrefix(line, "grade10: ") || strings.HasPrefix(line, "  decoded ") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	// stripFooter additionally drops the parse-stats footer, which names the
+	// input format — the only line allowed to differ between a text and a
+	// binary ingest of the same run.
+	stripFooter := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(stripDiag(s), "\n") {
+			if strings.HasPrefix(line, "log parse: ") {
 				continue
 			}
 			keep = append(keep, line)
@@ -91,7 +105,7 @@ func TestCLIPipeline(t *testing.T) {
 	// worker-pool fan-out merges in deterministic order.
 	serialRep := run("grade10", "-run", runDir, "-parallelism", "1")
 	parallelRep := run("grade10", "-run", runDir, "-parallelism", "8")
-	if serialRep != parallelRep {
+	if stripDiag(serialRep) != stripDiag(parallelRep) {
 		t.Fatal("-parallelism 8 report differs from -parallelism 1")
 	}
 	if stripDiag(serialRep) != stripDiag(report) {
@@ -102,6 +116,59 @@ func TestCLIPipeline(t *testing.T) {
 	untuned := run("grade10", "-run", runDir, "-untuned")
 	if untuned == report {
 		t.Fatal("untuned analysis identical to tuned")
+	}
+
+	// Binary enginelog: converting the run directory, analyzing the binary
+	// copy, and converting back must (a) produce the identical report modulo
+	// the input-format footer and (b) reproduce the original text log byte
+	// for byte.
+	binDir := filepath.Join(dir, "run-bin")
+	run("grade10", "-convert", runDir, "-o", binDir)
+	rawBin, err := os.ReadFile(filepath.Join(binDir, "execution.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(rawBin), "G10B") {
+		t.Fatalf("converted execution.log lacks binary magic: %.8q", rawBin)
+	}
+	binRep := run("grade10", "-run", binDir)
+	if !strings.Contains(binRep, "log parse: binary format") {
+		t.Fatalf("binary run footer missing format:\n%s", binRep)
+	}
+	if !strings.Contains(report, "log parse: text format") {
+		t.Fatalf("text run footer missing format:\n%s", report)
+	}
+	if stripFooter(binRep) != stripFooter(report) {
+		t.Fatal("binary-ingested report differs from text-ingested report")
+	}
+	backDir := filepath.Join(dir, "run-back")
+	run("grade10", "-convert", binDir, "-o", backDir)
+	origLog, err := os.ReadFile(filepath.Join(runDir, "execution.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backLog, err := os.ReadFile(filepath.Join(backDir, "execution.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(origLog) != string(backLog) {
+		t.Fatal("text → binary → text round trip not byte-identical")
+	}
+
+	// runsim -binary-log writes the binary format directly; the deterministic
+	// simulation reproduces the same run, so the report matches too.
+	blDir := filepath.Join(dir, "run-binarylog")
+	run("runsim", "-engine", "giraph", "-algorithm", "pagerank",
+		"-graph", graphFile, "-workers", "2", "-threads", "4", "-binary-log", "-out", blDir)
+	rawBL, err := os.ReadFile(filepath.Join(blDir, "execution.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(rawBL), "G10B") {
+		t.Fatal("runsim -binary-log did not write binary execution.log")
+	}
+	if stripFooter(run("grade10", "-run", blDir)) != stripFooter(report) {
+		t.Fatal("-binary-log run report differs from text run report")
 	}
 
 	// Rule inference produces a models file the analyzer accepts.

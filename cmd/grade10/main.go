@@ -15,6 +15,8 @@
 //	grade10 -run run/ -store profiles/ -run-label baseline
 //	grade10 -store profiles/ -diff runA runB -diff-out delta.json
 //	grade10 -blame runA runA/ runB/   # cross-job blame across co-scheduled runs
+//	grade10 -convert run/ -o run-bin/           # text run dir → binary (auto)
+//	grade10 -convert execution.log -o log.bin -to binary
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"time"
 
 	"path/filepath"
 
@@ -57,6 +60,10 @@ func main() {
 		storeMax = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
 		runLabel = flag.String("run-label", "", "free-form label recorded with the archived run")
 
+		convertIn = flag.String("convert", "", "convert an enginelog (or a whole run directory) between the text and binary formats: grade10 -convert INPUT -o OUTPUT [-to text|binary]")
+		convertTo = flag.String("to", "", "-convert target format: text or binary (default: the opposite of the detected input format)")
+		outPath   = flag.String("o", "", "-convert output path (file or directory, matching the input)")
+
 		blameTarget   = flag.String("blame", "", "cross-job blame: grade10 -blame TARGET RUNDIR... characterizes every run directory (their run.json placement manifests declare the shared hosts) and splits TARGET's contended time across its co-scheduled neighbors")
 		blameOut      = flag.String("blame-out", "", "also write the blame report as JSON to this file")
 		diffMode      = flag.Bool("diff", false, "diff two archived runs: grade10 -store DIR -diff RUN_A RUN_B (IDs or unique prefixes)")
@@ -70,6 +77,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
 		os.Exit(2)
+	}
+	if *convertIn != "" {
+		if *outPath == "" {
+			logger.Error("-convert needs -o OUTPUT")
+			os.Exit(2)
+		}
+		runConvert(*convertIn, *outPath, *convertTo)
+		return
 	}
 	if *diffMode {
 		if *storeDir == "" || flag.NArg() != 2 {
@@ -172,7 +187,7 @@ func main() {
 	if err := report.WriteAll(os.Stdout, out); err != nil {
 		fail(err)
 	}
-	writeParseFooter(os.Stdout, run.LogStats)
+	writeParseFooter(os.Stdout, run)
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -317,15 +332,110 @@ func runDiff(dir string, maxRuns int, idA, idB string, threshold float64, jsonOu
 	}
 }
 
-// writeParseFooter appends the log-robustness summary (enginelog.ParseStats)
-// to the report. It lives here rather than in report.WriteAll so the HTTP
-// /report endpoint stays byte-identical to the batch report body.
-func writeParseFooter(w *os.File, st enginelog.ParseStats) {
-	fmt.Fprintf(w, "\nlog parse: %d lines, %d events, %d malformed skipped, %d truncated\n",
-		st.Lines, st.Events, st.Skipped, st.Truncated)
+// writeParseFooter appends the log-robustness summary (enginelog.ParseStats
+// plus input format and decode throughput) to the report. It lives here
+// rather than in report.WriteAll so the HTTP /report endpoint stays
+// byte-identical to the batch report body. The throughput line is
+// wall-clock-derived and therefore host-dependent; byte-identity tests strip
+// it along with the other diagnostics.
+func writeParseFooter(w *os.File, run *rundir.Run) {
+	st := run.LogStats
+	fmt.Fprintf(w, "\nlog parse: %s format, %d lines, %d events, %d malformed skipped, %d truncated\n",
+		run.LogFormat, st.Lines, st.Events, st.Skipped, st.Truncated)
 	if st.Skipped > 0 && st.FirstError != "" {
 		fmt.Fprintf(w, "  first parse error: %s\n", st.FirstError)
 	}
+	if run.LogBytes > 0 && run.LogParse > 0 {
+		secs := run.LogParse.Seconds()
+		fmt.Fprintf(w, "  decoded %.2f MB in %s (%.1f MB/s, %.0f events/s)\n",
+			float64(run.LogBytes)/1e6, run.LogParse.Round(time.Microsecond),
+			float64(run.LogBytes)/1e6/secs, float64(st.Events)/secs)
+	}
+}
+
+// runConvert rewrites an enginelog — a bare log file or a whole run
+// directory — in the other format (or the one forced with -to). Run-dir
+// conversion rewrites execution.log and copies run.json and monitoring.csv
+// verbatim, so the converted directory is drop-in for every consumer.
+func runConvert(input, output, to string) {
+	if to != "" && to != "text" && to != "binary" {
+		logger.Error("-to must be text or binary")
+		os.Exit(2)
+	}
+	fi, err := os.Stat(input)
+	if err != nil {
+		fail(err)
+	}
+	if fi.IsDir() {
+		if err := os.MkdirAll(output, 0o755); err != nil {
+			fail(err)
+		}
+		for _, name := range []string{"run.json", "monitoring.csv"} {
+			data, err := os.ReadFile(filepath.Join(input, name))
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(filepath.Join(output, name), data, 0o644); err != nil {
+				fail(err)
+			}
+		}
+		convertLogFile(filepath.Join(input, "execution.log"), filepath.Join(output, "execution.log"), to)
+		logger.Info("converted run directory", "from", input, "to", output)
+		return
+	}
+	convertLogFile(input, output, to)
+}
+
+func convertLogFile(input, output, to string) {
+	in, err := os.Open(input)
+	if err != nil {
+		fail(err)
+	}
+	defer in.Close()
+	log, stats, format, err := enginelog.ReadStatsAny(in)
+	if err != nil {
+		fail(err)
+	}
+	if stats.Degraded() {
+		logger.Warn("input log is degraded; converting the surviving events",
+			"skipped", stats.Skipped, "truncated", stats.Truncated, "first_error", stats.FirstError)
+	}
+	target := enginelog.FormatBinary
+	switch {
+	case to == "text":
+		target = enginelog.FormatText
+	case to == "binary":
+	case format == enginelog.FormatBinary:
+		target = enginelog.FormatText
+	}
+	out, err := os.Create(output)
+	if err != nil {
+		fail(err)
+	}
+	var werr error
+	if target == enginelog.FormatBinary {
+		werr = enginelog.WriteBinary(out, log)
+	} else {
+		werr = enginelog.Write(out, log)
+	}
+	if werr != nil {
+		out.Close()
+		fail(werr)
+	}
+	if err := out.Close(); err != nil {
+		fail(err)
+	}
+	var outSize int64
+	if ofi, err := os.Stat(output); err == nil {
+		outSize = ofi.Size()
+	}
+	var inSize int64
+	if ifi, err := os.Stat(input); err == nil {
+		inSize = ifi.Size()
+	}
+	logger.Info("converted enginelog",
+		"events", stats.Events, "from", format.String(), "to", target.String(),
+		"in_bytes", inSize, "out_bytes", outSize)
 }
 
 // resolveModels picks the models: a JSON file when given, otherwise the

@@ -64,6 +64,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "with -serve: expose net/http/pprof under /debug/pprof/")
 		explainOn = flag.Bool("explain", false, "with -serve: capture attribution provenance and serve /explain queries")
 		traceOut  = flag.String("trace", "", "write the simulator/analysis self-trace as Chrome trace-event JSON to this path")
+		binaryLog = flag.Bool("binary-log", false, "write execution.log in the compact binary enginelog format (consumers auto-detect either format)")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
@@ -180,7 +181,7 @@ func main() {
 	if *hosts != "" {
 		run.Info.Placement = parsePlacement(*hosts, run.Info.Workers)
 	}
-	if err := rundir.Save(*out, run); err != nil {
+	if err := rundir.SaveOpts(*out, run, rundir.SaveOptions{BinaryLog: *binaryLog}); err != nil {
 		fail(err)
 	}
 	logger.Info(fmt.Sprintf("saved %d log events to %s", len(run.Log.Events), *out))

@@ -139,14 +139,15 @@ func main() {
 		close(stop)
 	}()
 
-	// Until the engine exists, log lines and monitoring rows buffer; run.json
-	// may legitimately appear after data starts landing.
+	// Until the engine exists, log bytes and monitoring rows buffer; run.json
+	// may legitimately appear after data starts landing. Log bytes are tailed
+	// raw (not line-split) so both enginelog formats stream transparently.
 	var (
-		engine       *stream.Engine
-		pendingLines []string
-		pendingRows  []rundir.MonitoringRow
-		liveSrv      *stream.Server
-		runInfo      rundir.Info
+		engine      *stream.Engine
+		pendingLog  []byte
+		pendingRows []rundir.MonitoringRow
+		liveSrv     *stream.Server
+		runInfo     rundir.Info
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
@@ -157,13 +158,13 @@ func main() {
 				fail(err)
 			}
 			engine = e
-			for _, line := range pendingLines {
-				engine.IngestLine(line)
+			if len(pendingLog) > 0 {
+				engine.IngestChunk(pendingLog)
 			}
 			for _, row := range pendingRows {
 				engine.IngestRow(row)
 			}
-			pendingLines, pendingRows = nil, nil
+			pendingLog, pendingRows = nil, nil
 			srv := stream.NewServer(engine)
 			if *pprofOn {
 				srv.EnablePprof()
@@ -191,11 +192,11 @@ func main() {
 			logger.Info(fmt.Sprintf("%s run of %q on %d workers; live endpoints up",
 				info.Engine, info.Job, info.Workers))
 		},
-		LogLine: func(line string) {
+		LogChunk: func(chunk []byte) {
 			if engine != nil {
-				engine.IngestLine(line)
+				engine.IngestChunk(chunk)
 			} else {
-				pendingLines = append(pendingLines, line)
+				pendingLog = append(pendingLog, chunk...)
 			}
 		},
 		MonitoringRow: func(row rundir.MonitoringRow) {

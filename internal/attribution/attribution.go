@@ -13,6 +13,13 @@
 //
 // The output is the paper's 3-D array — resource × timeslice × phase — plus
 // the upsampled utilization series used for bottleneck detection.
+//
+// The inner loop is columnar: competitor metadata lives in parallel arrays,
+// per-slice activity in a CSR layout built by a stable counting sort, and
+// all per-instance scratch in one pooled arena, so the steady state of a
+// multi-instance pass allocates only the result arrays. The row-based
+// original survives in the reference subpackage as the bit-for-bit
+// equivalence oracle.
 package attribution
 
 import (
@@ -56,6 +63,9 @@ func (u *PhaseUsage) Total(slices core.Timeslices) float64 {
 }
 
 // InstanceProfile is the attribution result for one resource instance.
+// The four per-slice series share one flat backing array (capacity-clipped
+// views), so an instance costs a handful of allocations regardless of the
+// slice count.
 type InstanceProfile struct {
 	Instance *core.ResourceInstance
 	// Consumption[k] is the upsampled average rate during slice k.
@@ -134,13 +144,6 @@ func (p *Profile) Get(name string, machine int) *InstanceProfile {
 	return p.byKey[fmt.Sprintf("%s@%d", name, machine)]
 }
 
-// competitor is a leaf phase competing for a resource instance.
-type competitor struct {
-	phase *core.Phase
-	rule  core.Rule
-	usage *PhaseUsage
-}
-
 // Attribute runs the three-step attribution process over every resource
 // instance in the trace, fanning instances out over par.Default() workers.
 func Attribute(tr *core.ExecutionTrace, rt *core.ResourceTrace, rules *core.RuleSet,
@@ -194,24 +197,137 @@ func AttributeWindowTraced(tr *core.ExecutionTrace, leaves []*core.Phase, rt *co
 	return AttributeWindowProv(tr, leaves, rt, rules, slices, workers, tracer, nil)
 }
 
+// arena is the per-instance scratch of one attribution job, pooled across
+// instances and windows. Everything transient lives here — discovery
+// entries, competitor metadata, the CSR activity index, and the upsampling
+// buffers — so a steady-state attribution pass allocates only its results.
+// Indices are int32: a window has far fewer than 2³¹ slices or activity
+// entries.
+type arena struct {
+	// Discovery entries in leaf-major order: entry e says competitor
+	// entryComp[e] is active in slice entrySlice[e] for fraction entryAct[e]
+	// of the slice.
+	entrySlice []int32
+	entryComp  []int32
+	entryAct   []float64
+	// Competitor metadata, parallel arrays indexed by competitor.
+	compPhase []*core.Phase
+	compRule  []core.Rule
+	compFirst []int32
+	compLast  []int32
+	// CSR activity index: slice k's entries are csrComp/csrAct positions
+	// [csrOff[k], csrOff[k+1]). Built by a stable counting sort from the
+	// discovery entries, so within a slice competitors keep leaf order and
+	// floating-point accumulation matches the row-based oracle bit for bit.
+	csrOff  []int32
+	csrCur  []int32
+	csrComp []int32
+	csrAct  []float64
+	// fbuf backs the six per-measurement upsampling views.
+	fbuf []float64
+	// Rule cache for the discovery pass, keyed by leaf type identity: the
+	// leaf set repeats a handful of types thousands of times, and hashing
+	// the full type-path string per leaf dominates discovery otherwise.
+	// Valid for one instance only (the resource name is part of the rule
+	// key), so acquireArena clears it.
+	ruleTyp []*core.PhaseType
+	ruleVal []core.Rule
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// acquireArena returns an arena ready for a new instance: append targets
+// empty, capacity retained from previous uses.
+func acquireArena() *arena {
+	ar := arenaPool.Get().(*arena)
+	ar.entrySlice = ar.entrySlice[:0]
+	ar.entryComp = ar.entryComp[:0]
+	ar.entryAct = ar.entryAct[:0]
+	ar.compPhase = ar.compPhase[:0]
+	ar.compRule = ar.compRule[:0]
+	ar.compFirst = ar.compFirst[:0]
+	ar.compLast = ar.compLast[:0]
+	ar.ruleTyp = ar.ruleTyp[:0]
+	ar.ruleVal = ar.ruleVal[:0]
+	return ar
+}
+
+// ruleFor is rules.Get memoized by type pointer. Distinct leaf types number
+// a dozen or so, so a linear identity scan beats hashing the path string.
+// The returned rule is exactly what rules.Get returns, so caching cannot
+// change any attributed value.
+func (ar *arena) ruleFor(rules *core.RuleSet, typ *core.PhaseType, resource string) core.Rule {
+	for i, t := range ar.ruleTyp {
+		if t == typ {
+			return ar.ruleVal[i]
+		}
+	}
+	r := rules.Get(typ.Path(), resource)
+	ar.ruleTyp = append(ar.ruleTyp, typ)
+	ar.ruleVal = append(ar.ruleVal, r)
+	return r
+}
+
+// release drops phase pointers (so a pooled arena never pins a retired
+// trace) and returns the arena to the pool.
+func (ar *arena) release() {
+	for i := range ar.compPhase {
+		ar.compPhase[i] = nil
+	}
+	for i := range ar.ruleTyp {
+		ar.ruleTyp[i] = nil
+	}
+	arenaPool.Put(ar)
+}
+
+// growI32 returns s with length n, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite every element they
+// read.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// upsampleViews returns six zeroed length-n slices backed by fbuf.
+func (ar *arena) upsampleViews(n int) (dur, capAmt, knownAmt, varW, alloc, head []float64) {
+	need := 6 * n
+	if cap(ar.fbuf) < need {
+		ar.fbuf = make([]float64, need)
+	}
+	b := ar.fbuf[:need]
+	for i := range b {
+		b[i] = 0
+	}
+	return b[:n], b[n : 2*n], b[2*n : 3*n], b[3*n : 4*n], b[4*n : 5*n], b[5*n : 6*n]
+}
+
 func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 	rules *core.RuleSet, slices core.Timeslices, tracer *obs.Tracer, worker int,
 	rec InstanceRecorder) (*InstanceProfile, error) {
+	n := slices.Count
+	// One flat backing for the four per-slice output series. The views are
+	// capacity-clipped so an accidental append cannot bleed into a neighbor.
+	flat := make([]float64, 4*n)
 	ip := &InstanceProfile{
 		Instance:       ri,
-		Consumption:    make([]float64, slices.Count),
-		KnownDemand:    make([]float64, slices.Count),
-		VariableWeight: make([]float64, slices.Count),
-		Unattributed:   make([]float64, slices.Count),
+		Consumption:    flat[0:n:n],
+		KnownDemand:    flat[n : 2*n : 2*n],
+		VariableWeight: flat[2*n : 3*n : 3*n],
+		Unattributed:   flat[3*n : 4*n : 4*n],
 		byPhase:        map[*core.Phase]*PhaseUsage{},
 	}
 
-	// Step 0: find competitors and their per-slice activity; accumulate the
-	// demand estimation matrix (§III-D1).
-	perSlice := make([][]competitorActivity, slices.Count)
-	var competitors []*competitor
+	ar := acquireArena()
+	defer ar.release()
+
+	// Step 0: discover competitors and their per-slice activity; accumulate
+	// the demand estimation matrix (§III-D1). Leaf-major — the order the
+	// oracle uses — so every += lands in the same sequence.
+	ratesLen := 0
 	for _, leaf := range leaves {
-		rule := rules.Get(leaf.Type.Path(), ri.Resource.Name)
+		rule := ar.ruleFor(rules, leaf.Type, ri.Resource.Name)
 		if rule.Kind == core.RuleNone {
 			continue
 		}
@@ -222,9 +338,12 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 		if first == last {
 			continue
 		}
-		c := &competitor{phase: leaf, rule: rule,
-			usage: &PhaseUsage{Phase: leaf, First: first, Rates: make([]float64, last-first)}}
-		competitors = append(competitors, c)
+		ci := int32(len(ar.compPhase))
+		ar.compPhase = append(ar.compPhase, leaf)
+		ar.compRule = append(ar.compRule, rule)
+		ar.compFirst = append(ar.compFirst, int32(first))
+		ar.compLast = append(ar.compLast, int32(last))
+		ratesLen += last - first
 		for k := first; k < last; k++ {
 			t0, t1 := slices.Bounds(k)
 			a := leaf.ActiveFraction(t0, t1)
@@ -237,11 +356,58 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 			case core.RuleVariable:
 				ip.VariableWeight[k] += rule.Amount * a
 			}
-			perSlice[k] = append(perSlice[k], competitorActivity{c, a})
+			ar.entrySlice = append(ar.entrySlice, int32(k))
+			ar.entryComp = append(ar.entryComp, ci)
+			ar.entryAct = append(ar.entryAct, a)
 			if rec != nil {
 				rec.Demand(k, leaf, rule, a)
 			}
 		}
+	}
+
+	// Materialize the durable usage records: one PhaseUsage slab and one
+	// flat rates backing shared by all competitors of this instance.
+	nComp := len(ar.compPhase)
+	var slab []PhaseUsage
+	if nComp > 0 {
+		slab = make([]PhaseUsage, nComp)
+		ratesBacking := make([]float64, ratesLen)
+		off := 0
+		for ci := 0; ci < nComp; ci++ {
+			span := int(ar.compLast[ci] - ar.compFirst[ci])
+			slab[ci] = PhaseUsage{Phase: ar.compPhase[ci], First: int(ar.compFirst[ci]),
+				Rates: ratesBacking[off : off+span : off+span]}
+			off += span
+		}
+	}
+
+	// Build the CSR activity index with a stable counting sort over the
+	// discovery entries.
+	nE := len(ar.entrySlice)
+	ar.csrOff = growI32(ar.csrOff, n+1)
+	for i := 0; i <= n; i++ {
+		ar.csrOff[i] = 0
+	}
+	for _, k := range ar.entrySlice {
+		ar.csrOff[k+1]++
+	}
+	for k := 0; k < n; k++ {
+		ar.csrOff[k+1] += ar.csrOff[k]
+	}
+	ar.csrCur = growI32(ar.csrCur, n)
+	copy(ar.csrCur, ar.csrOff[:n])
+	ar.csrComp = growI32(ar.csrComp, nE)
+	if cap(ar.csrAct) < nE {
+		ar.csrAct = make([]float64, nE)
+	} else {
+		ar.csrAct = ar.csrAct[:nE]
+	}
+	for e := 0; e < nE; e++ {
+		k := ar.entrySlice[e]
+		p := ar.csrCur[k]
+		ar.csrCur[k] = p + 1
+		ar.csrComp[p] = ar.entryComp[e]
+		ar.csrAct[p] = ar.entryAct[e]
 	}
 
 	// Step 1+2: upsample each monitoring measurement to slice granularity
@@ -251,62 +417,35 @@ func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
 		uspan.SetDetail(ri.Key())
 		uspan.SetItems(int64(len(ri.Samples.Samples)))
 	}
-	if err := upsample(ip, ri, slices, rec); err != nil {
+	if err := upsample(ip, ri, slices, ar, rec); err != nil {
 		return nil, err
 	}
 	uspan.End()
 
 	// Step 3: attribute per-slice consumption to phases (§III-D3).
-	for k := 0; k < slices.Count; k++ {
-		attributeSlice(ip, perSlice[k], k, rec)
+	for k := 0; k < n; k++ {
+		attributeSlice(ip, ar, slab, k, rec)
 	}
 
 	// Keep only phases that received any consumption.
-	if len(competitors) > 0 {
-		ip.Usage = make([]*PhaseUsage, 0, len(competitors))
+	if nComp > 0 {
+		ip.Usage = make([]*PhaseUsage, 0, nComp)
 	}
-	for _, c := range competitors {
+	for ci := 0; ci < nComp; ci++ {
+		u := &slab[ci]
 		any := false
-		for _, r := range c.usage.Rates {
+		for _, r := range u.Rates {
 			if r > epsilon {
 				any = true
 				break
 			}
 		}
 		if any {
-			ip.Usage = append(ip.Usage, c.usage)
-			ip.byPhase[c.phase] = c.usage
+			ip.Usage = append(ip.Usage, u)
+			ip.byPhase[u.Phase] = u
 		}
 	}
 	return ip, nil
-}
-
-type competitorActivity struct {
-	c        *competitor
-	activity float64
-}
-
-// upsampleScratch holds the per-measurement working buffers of upsample, one
-// flat backing array sliced six ways. Pooled because upsample runs once per
-// monitoring sample per instance — the hottest allocation site of the whole
-// attribution pass — and concurrently across instances.
-type upsampleScratch struct {
-	buf []float64
-}
-
-var scratchPool = sync.Pool{New: func() any { return new(upsampleScratch) }}
-
-// views returns six zeroed length-n slices backed by the scratch buffer.
-func (s *upsampleScratch) views(n int) (dur, capAmt, knownAmt, varW, alloc, head []float64) {
-	need := 6 * n
-	if cap(s.buf) < need {
-		s.buf = make([]float64, need)
-	}
-	b := s.buf[:need]
-	for i := range b {
-		b[i] = 0
-	}
-	return b[:n], b[n : 2*n], b[2*n : 3*n], b[3*n : 4*n], b[4*n : 5*n], b[5*n : 6*n]
 }
 
 // upsample distributes each coarse measurement over its timeslices in
@@ -314,10 +453,8 @@ func (s *upsampleScratch) views(n int) (dur, capAmt, knownAmt, varW, alloc, head
 // capacity, with the excess over Exact demand load-balanced across Variable
 // demand (§III-D2).
 func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices,
-	rec InstanceRecorder) error {
+	ar *arena, rec InstanceRecorder) error {
 	capUnit := ri.Resource.Capacity
-	scratch := scratchPool.Get().(*upsampleScratch)
-	defer scratchPool.Put(scratch)
 	for _, smp := range ri.Samples.Samples {
 		// Clip the measurement to the analyzed span; consumption outside it
 		// is out of scope and must not be squeezed into in-span slices.
@@ -334,7 +471,7 @@ func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timesl
 		// Per-slice working buffers: overlap durations with this measurement
 		// window, capacity ceiling / Exact demand / variable weight (all in
 		// unit·seconds), the allocation being built, and headroom scratch.
-		dur, capAmt, knownAmt, varW, alloc, head := scratch.views(n)
+		dur, capAmt, knownAmt, varW, alloc, head := ar.upsampleViews(n)
 		totalKnown := 0.0
 		for i := 0; i < n; i++ {
 			k := first + i
@@ -447,13 +584,16 @@ func waterFill(alloc []float64, amount float64, weights, ceil []float64) float64
 	return amount
 }
 
-// attributeSlice splits the slice's upsampled consumption among the active
+// attributeSlice splits slice k's upsampled consumption among the active
 // phases: Exact phases proportionally up to their demand, remainder across
-// Variable phases by weight (§III-D3).
-func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int,
+// Variable phases by weight (§III-D3). The active set is the CSR row
+// [csrOff[k], csrOff[k+1]); entries are in leaf order, so both accumulation
+// loops run in the oracle's sequence.
+func attributeSlice(ip *InstanceProfile, ar *arena, slab []PhaseUsage, k int,
 	rec InstanceRecorder) {
 	u := ip.Consumption[k]
-	if u <= epsilon || len(active) == 0 {
+	lo, hi := ar.csrOff[k], ar.csrOff[k+1]
+	if u <= epsilon || lo == hi {
 		if u > epsilon {
 			ip.Unattributed[k] = u
 		}
@@ -461,12 +601,13 @@ func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int,
 	}
 	totalExact := 0.0
 	totalVarW := 0.0
-	for _, ca := range active {
-		switch ca.c.rule.Kind {
+	for e := lo; e < hi; e++ {
+		rule := &ar.compRule[ar.csrComp[e]]
+		switch rule.Kind {
 		case core.RuleExact:
-			totalExact += ca.c.rule.Amount * ca.activity
+			totalExact += rule.Amount * ar.csrAct[e]
 		case core.RuleVariable:
-			totalVarW += ca.c.rule.Amount * ca.activity
+			totalVarW += rule.Amount * ar.csrAct[e]
 		}
 	}
 	exactScale := 1.0
@@ -478,21 +619,25 @@ func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int,
 	if rec != nil {
 		rec.SliceSplit(k, u, totalExact, totalVarW, exactScale, remainder)
 	}
-	for _, ca := range active {
+	for e := lo; e < hi; e++ {
+		ci := ar.csrComp[e]
+		rule := &ar.compRule[ci]
+		activity := ar.csrAct[e]
 		var share float64
-		switch ca.c.rule.Kind {
+		switch rule.Kind {
 		case core.RuleExact:
-			share = ca.c.rule.Amount * ca.activity * exactScale
+			share = rule.Amount * activity * exactScale
 		case core.RuleVariable:
 			if totalVarW > 0 {
-				share = remainder * ca.c.rule.Amount * ca.activity / totalVarW
+				share = remainder * rule.Amount * activity / totalVarW
 			}
 		}
 		if share > 0 {
-			ca.c.usage.Rates[k-ca.c.usage.First] += share
+			usage := &slab[ci]
+			usage.Rates[k-usage.First] += share
 		}
 		if rec != nil {
-			rec.Share(k, ca.c.phase, ca.c.rule, ca.activity, share)
+			rec.Share(k, ar.compPhase[ci], *rule, activity, share)
 		}
 	}
 	if totalVarW == 0 && remainder > epsilon {

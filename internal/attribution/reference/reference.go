@@ -1,0 +1,329 @@
+// Package reference preserves the row-based attribution implementation that
+// predates the columnar rewrite of internal/attribution. It is the
+// equivalence oracle: the columnar core must reproduce this implementation
+// bit for bit — every output float64 and every provenance callback, in the
+// same order — on any input. Equivalence tests diff the two; benchmarks use
+// it as the speed baseline. It is deliberately serial and unpooled so the
+// code stays a plain transcription of §III-D, easy to audit against the
+// paper.
+//
+// Do not "improve" this package. Its value is that it does not change.
+package reference
+
+import (
+	"math"
+
+	"grade10/internal/attribution"
+	"grade10/internal/core"
+	"grade10/internal/vtime"
+)
+
+// epsilon mirrors attribution's floating-point residue threshold.
+const epsilon = 1e-9
+
+// PhaseUsage mirrors attribution.PhaseUsage.
+type PhaseUsage struct {
+	Phase *core.Phase
+	First int
+	Rates []float64
+}
+
+// InstanceProfile mirrors attribution.InstanceProfile.
+type InstanceProfile struct {
+	Instance       *core.ResourceInstance
+	Consumption    []float64
+	KnownDemand    []float64
+	VariableWeight []float64
+	Usage          []*PhaseUsage
+	Unattributed   []float64
+}
+
+// Profile is the reference attribution output.
+type Profile struct {
+	Slices    core.Timeslices
+	Instances []*InstanceProfile
+}
+
+// competitor is a leaf phase competing for a resource instance.
+type competitor struct {
+	phase *core.Phase
+	rule  core.Rule
+	usage *PhaseUsage
+}
+
+type competitorActivity struct {
+	c        *competitor
+	activity float64
+}
+
+// Attribute runs the row-based attribution process serially over every
+// resource instance, in rt.Instances() order. A non-nil rec receives the
+// same provenance callback stream the columnar implementation emits.
+func Attribute(leaves []*core.Phase, rt *core.ResourceTrace, rules *core.RuleSet,
+	slices core.Timeslices, rec attribution.Recorder) (*Profile, error) {
+	prof := &Profile{Slices: slices}
+	for i, ri := range rt.Instances() {
+		var ir attribution.InstanceRecorder
+		if rec != nil {
+			ir = rec.InstanceRecorder(i, ri, slices)
+		}
+		ip, err := attributeInstance(ri, leaves, rules, slices, ir)
+		if err != nil {
+			return nil, err
+		}
+		prof.Instances = append(prof.Instances, ip)
+	}
+	return prof, nil
+}
+
+func attributeInstance(ri *core.ResourceInstance, leaves []*core.Phase,
+	rules *core.RuleSet, slices core.Timeslices,
+	rec attribution.InstanceRecorder) (*InstanceProfile, error) {
+	ip := &InstanceProfile{
+		Instance:       ri,
+		Consumption:    make([]float64, slices.Count),
+		KnownDemand:    make([]float64, slices.Count),
+		VariableWeight: make([]float64, slices.Count),
+		Unattributed:   make([]float64, slices.Count),
+	}
+
+	// Step 0: find competitors and their per-slice activity; accumulate the
+	// demand estimation matrix (§III-D1).
+	perSlice := make([][]competitorActivity, slices.Count)
+	var competitors []*competitor
+	for _, leaf := range leaves {
+		rule := rules.Get(leaf.Type.Path(), ri.Resource.Name)
+		if rule.Kind == core.RuleNone {
+			continue
+		}
+		if ri.Resource.PerMachine && leaf.Machine != ri.Machine {
+			continue
+		}
+		first, last := slices.Range(leaf.Start, leaf.End)
+		if first == last {
+			continue
+		}
+		c := &competitor{phase: leaf, rule: rule,
+			usage: &PhaseUsage{Phase: leaf, First: first, Rates: make([]float64, last-first)}}
+		competitors = append(competitors, c)
+		for k := first; k < last; k++ {
+			t0, t1 := slices.Bounds(k)
+			a := leaf.ActiveFraction(t0, t1)
+			if a <= 0 {
+				continue
+			}
+			switch rule.Kind {
+			case core.RuleExact:
+				ip.KnownDemand[k] += rule.Amount * a
+			case core.RuleVariable:
+				ip.VariableWeight[k] += rule.Amount * a
+			}
+			perSlice[k] = append(perSlice[k], competitorActivity{c, a})
+			if rec != nil {
+				rec.Demand(k, leaf, rule, a)
+			}
+		}
+	}
+
+	// Step 1+2: upsample each monitoring measurement (§III-D2).
+	if err := upsample(ip, ri, slices, rec); err != nil {
+		return nil, err
+	}
+
+	// Step 3: attribute per-slice consumption to phases (§III-D3).
+	for k := 0; k < slices.Count; k++ {
+		attributeSlice(ip, perSlice[k], k, rec)
+	}
+
+	// Keep only phases that received any consumption.
+	if len(competitors) > 0 {
+		ip.Usage = make([]*PhaseUsage, 0, len(competitors))
+	}
+	for _, c := range competitors {
+		any := false
+		for _, r := range c.usage.Rates {
+			if r > epsilon {
+				any = true
+				break
+			}
+		}
+		if any {
+			ip.Usage = append(ip.Usage, c.usage)
+		}
+	}
+	return ip, nil
+}
+
+// upsample distributes each coarse measurement over its timeslices in
+// proportion to estimated demand (§III-D2). Identical math to the columnar
+// implementation; buffers are allocated fresh per measurement because this
+// oracle optimizes for auditability, not speed.
+func upsample(ip *InstanceProfile, ri *core.ResourceInstance, slices core.Timeslices,
+	rec attribution.InstanceRecorder) error {
+	capUnit := ri.Resource.Capacity
+	for _, smp := range ri.Samples.Samples {
+		w0 := vtime.Max(smp.Start, slices.Start)
+		w1 := vtime.Min(smp.End, slices.End)
+		if w1 <= w0 {
+			continue
+		}
+		first, last := slices.Range(w0, w1)
+		if first == last {
+			continue
+		}
+		n := last - first
+		dur := make([]float64, n)
+		capAmt := make([]float64, n)
+		knownAmt := make([]float64, n)
+		varW := make([]float64, n)
+		alloc := make([]float64, n)
+		head := make([]float64, n)
+		totalKnown := 0.0
+		for i := 0; i < n; i++ {
+			k := first + i
+			t0, t1 := slices.Bounds(k)
+			lo, hi := vtime.Max(t0, w0), vtime.Min(t1, w1)
+			d := hi.Sub(lo).Seconds()
+			if d <= 0 {
+				continue
+			}
+			dur[i] = d
+			capAmt[i] = capUnit * d
+			knownAmt[i] = math.Min(ip.KnownDemand[k], capUnit) * d
+			varW[i] = ip.VariableWeight[k] * d
+			totalKnown += knownAmt[i]
+		}
+		consumption := smp.Avg * w1.Sub(w0).Seconds()
+		if consumption <= epsilon {
+			continue
+		}
+
+		if consumption >= totalKnown {
+			copy(alloc, knownAmt)
+		} else if totalKnown > 0 {
+			f := consumption / totalKnown
+			for i := range alloc {
+				alloc[i] = knownAmt[i] * f
+			}
+		}
+		leftover := consumption
+		for _, a := range alloc {
+			leftover -= a
+		}
+
+		leftover = waterFill(alloc, leftover, varW, capAmt)
+		if leftover > epsilon {
+			leftover = waterFill(alloc, leftover, knownAmt, capAmt)
+		}
+		if leftover > epsilon {
+			for i := range head {
+				head[i] = capAmt[i] - alloc[i]
+			}
+			leftover = waterFill(alloc, leftover, head, capAmt)
+		}
+		if leftover > epsilon {
+			for i := range alloc {
+				if dur[i] > 0 {
+					alloc[i] += leftover * dur[i] / w1.Sub(w0).Seconds()
+				}
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			if dur[i] > 0 {
+				ip.Consumption[first+i] += alloc[i] / slices.SliceSeconds(first+i)
+				if rec != nil {
+					rec.Upsample(first+i, w0, w1, smp.Avg, alloc[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// waterFill is a verbatim copy of attribution's water-filling loop.
+func waterFill(alloc []float64, amount float64, weights, ceil []float64) float64 {
+	for amount > epsilon {
+		totalW := 0.0
+		for i := range weights {
+			if weights[i] > 0 && ceil[i]-alloc[i] > epsilon {
+				totalW += weights[i]
+			}
+		}
+		if totalW == 0 {
+			break
+		}
+		distributed := 0.0
+		for i := range weights {
+			if weights[i] <= 0 || ceil[i]-alloc[i] <= epsilon {
+				continue
+			}
+			share := amount * weights[i] / totalW
+			if head := ceil[i] - alloc[i]; share > head {
+				share = head
+			}
+			alloc[i] += share
+			distributed += share
+		}
+		if distributed <= epsilon {
+			break
+		}
+		amount -= distributed
+	}
+	if amount < 0 {
+		amount = 0
+	}
+	return amount
+}
+
+// attributeSlice splits the slice's upsampled consumption among the active
+// phases (§III-D3).
+func attributeSlice(ip *InstanceProfile, active []competitorActivity, k int,
+	rec attribution.InstanceRecorder) {
+	u := ip.Consumption[k]
+	if u <= epsilon || len(active) == 0 {
+		if u > epsilon {
+			ip.Unattributed[k] = u
+		}
+		return
+	}
+	totalExact := 0.0
+	totalVarW := 0.0
+	for _, ca := range active {
+		switch ca.c.rule.Kind {
+		case core.RuleExact:
+			totalExact += ca.c.rule.Amount * ca.activity
+		case core.RuleVariable:
+			totalVarW += ca.c.rule.Amount * ca.activity
+		}
+	}
+	exactScale := 1.0
+	if u < totalExact && totalExact > 0 {
+		exactScale = u / totalExact
+	}
+	givenExact := math.Min(u, totalExact)
+	remainder := u - givenExact
+	if rec != nil {
+		rec.SliceSplit(k, u, totalExact, totalVarW, exactScale, remainder)
+	}
+	for _, ca := range active {
+		var share float64
+		switch ca.c.rule.Kind {
+		case core.RuleExact:
+			share = ca.c.rule.Amount * ca.activity * exactScale
+		case core.RuleVariable:
+			if totalVarW > 0 {
+				share = remainder * ca.c.rule.Amount * ca.activity / totalVarW
+			}
+		}
+		if share > 0 {
+			ca.c.usage.Rates[k-ca.c.usage.First] += share
+		}
+		if rec != nil {
+			rec.Share(k, ca.c.phase, ca.c.rule, ca.activity, share)
+		}
+	}
+	if totalVarW == 0 && remainder > epsilon {
+		ip.Unattributed[k] = remainder
+	}
+}

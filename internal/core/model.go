@@ -50,13 +50,14 @@ type PhaseType struct {
 	parent   *PhaseType
 	children []*PhaseType
 	byName   map[string]*PhaseType
+	path     string // computed once at construction; Path() is on hot rule-lookup paths
 }
 
 // NewRootType creates the root phase type of an execution model, typically
 // named after the job kind (e.g. "pagerank" or "app").
 func NewRootType(name string) *PhaseType {
 	validateSegment(name)
-	return &PhaseType{Name: name, byName: map[string]*PhaseType{}}
+	return &PhaseType{Name: name, byName: map[string]*PhaseType{}, path: "/" + name}
 }
 
 func validateSegment(name string) {
@@ -74,7 +75,7 @@ func (t *PhaseType) Child(name string, repeated bool, after ...string) *PhaseTyp
 		return c
 	}
 	c := &PhaseType{Name: name, Repeated: repeated, After: after,
-		parent: t, byName: map[string]*PhaseType{}}
+		parent: t, byName: map[string]*PhaseType{}, path: t.Path() + "/" + name}
 	t.children = append(t.children, c)
 	t.byName[name] = c
 	return c
@@ -89,8 +90,14 @@ func (t *PhaseType) Children() []*PhaseType { return t.children }
 // IsLeaf reports whether the type has no children.
 func (t *PhaseType) IsLeaf() bool { return len(t.children) == 0 }
 
-// Path returns the type path, e.g. "/pagerank/execute/superstep".
+// Path returns the type path, e.g. "/pagerank/execute/superstep". The path
+// is cached at construction (Name and parent never change afterwards); the
+// recomputing fallback covers zero-value PhaseTypes built outside the
+// constructors.
 func (t *PhaseType) Path() string {
+	if t.path != "" {
+		return t.path
+	}
 	if t.parent == nil {
 		return "/" + t.Name
 	}

@@ -1,0 +1,182 @@
+package enginelog
+
+import (
+	"bytes"
+	"io"
+)
+
+// StreamParser is an incremental parser that accepts either enginelog
+// format, deciding by magic bytes from the first chunk it sees. It unifies
+// the two ingest paths a live consumer has:
+//
+//   - Feed(chunk): raw bytes in either format, as read from a file tail or a
+//     network stream. Text chunks are split into lines with the same
+//     bounded-memory, truncation-tolerant semantics as ForEachLine.
+//   - ParseLine(line): a single pre-split text line (the in-process tap
+//     path). Calling it forces text mode.
+//
+// Finish flushes any buffered partial line or record once the stream ends.
+// Stats reports one unified ParseStats whichever format was detected.
+type StreamParser struct {
+	format  Format
+	decided bool
+	hdr     []byte // undecided prefix, < len(Magic) bytes
+
+	// Text mode: line assembly mirroring forEachLine.
+	p          Parser
+	pending    []byte
+	discarding bool
+	truncated  int
+
+	// Binary mode.
+	dec Decoder
+
+	finished bool
+}
+
+// Format returns the detected format; meaningful once at least len(Magic)
+// bytes were fed or a line was parsed (text until then).
+func (sp *StreamParser) Format() Format { return sp.format }
+
+func (sp *StreamParser) decide(f Format) {
+	sp.format = f
+	sp.decided = true
+}
+
+// ParseLine parses one text line, forcing text mode if the format is still
+// undecided. It keeps the Parser contract: (event, true, nil) for events,
+// (zero, false, nil) for blanks/comments, counted error for malformed lines.
+func (sp *StreamParser) ParseLine(line string) (Event, bool, error) {
+	if !sp.decided {
+		sp.decide(FormatText)
+		if len(sp.hdr) > 0 {
+			// Bytes fed before the first line call: treat as text input
+			// preceding this line.
+			sp.feedText(sp.hdr, nil)
+			sp.hdr = nil
+		}
+	}
+	if sp.format == FormatBinary {
+		// A stray text line in a binary stream is a malformed record.
+		sp.dec.stats.Lines++
+		sp.dec.stats.Skipped++
+		if sp.dec.stats.FirstError == "" {
+			sp.dec.stats.FirstError = "text line injected into binary stream"
+		}
+		return Event{}, false, errSkipRecord{"text line injected into binary stream"}
+	}
+	return sp.p.ParseLine(line)
+}
+
+// Feed consumes a raw chunk in whichever format the stream is, invoking
+// emit for every completed event.
+func (sp *StreamParser) Feed(chunk []byte, emit func(Event)) {
+	if !sp.decided {
+		if len(sp.hdr)+len(chunk) < len(Magic) {
+			sp.hdr = append(sp.hdr, chunk...)
+			return
+		}
+		sp.hdr = append(sp.hdr, chunk...)
+		chunk = sp.hdr
+		sp.hdr = nil
+		sp.decide(DetectFormat(chunk))
+	}
+	if sp.format == FormatBinary {
+		sp.dec.Feed(chunk, emit)
+		return
+	}
+	sp.feedText(chunk, emit)
+}
+
+// feedText splits a chunk into lines with forEachLine's semantics: partial
+// lines buffer across chunks, over-long lines are dropped in bounded memory
+// and counted as truncated.
+func (sp *StreamParser) feedText(chunk []byte, emit func(Event)) {
+	for len(chunk) > 0 {
+		i := bytes.IndexByte(chunk, '\n')
+		if i < 0 {
+			switch {
+			case sp.discarding:
+			case len(sp.pending)+len(chunk) > maxLineLen:
+				sp.pending = sp.pending[:0]
+				sp.truncated++
+				sp.discarding = true
+			default:
+				sp.pending = append(sp.pending, chunk...)
+			}
+			return
+		}
+		line := chunk[:i]
+		chunk = chunk[i+1:]
+		switch {
+		case sp.discarding:
+			sp.discarding = false
+		case len(sp.pending)+len(line) > maxLineLen:
+			sp.pending = sp.pending[:0]
+			sp.truncated++
+		default:
+			if len(sp.pending) > 0 {
+				sp.pending = append(sp.pending, line...)
+				line = sp.pending
+			}
+			if e, ok, _ := sp.p.ParseLine(string(line)); ok && emit != nil {
+				emit(e)
+			}
+			sp.pending = sp.pending[:0]
+		}
+	}
+}
+
+// FeedReader streams all of r through Feed in bounded memory.
+func (sp *StreamParser) FeedReader(r io.Reader, emit func(Event)) error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			sp.Feed(buf[:n], emit)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Finish flushes buffered partial input at end of stream: a final
+// unterminated text line is parsed, a partial binary record is counted as
+// truncated. Finish is idempotent; further Feeds after Finish are undefined.
+func (sp *StreamParser) Finish(emit func(Event)) {
+	if sp.finished {
+		return
+	}
+	sp.finished = true
+	if !sp.decided {
+		// Fewer than len(Magic) bytes ever arrived; that is text.
+		sp.decide(FormatText)
+		sp.pending = append(sp.pending, sp.hdr...)
+		sp.hdr = nil
+	}
+	if sp.format == FormatBinary {
+		sp.dec.Finish()
+		return
+	}
+	if !sp.discarding && len(sp.pending) > 0 {
+		if e, ok, _ := sp.p.ParseLine(string(sp.pending)); ok && emit != nil {
+			emit(e)
+		}
+	}
+	sp.pending = nil
+	sp.discarding = false
+}
+
+// Stats returns unified parse statistics for whichever format was seen.
+func (sp *StreamParser) Stats() ParseStats {
+	if sp.format == FormatBinary {
+		return sp.dec.Stats()
+	}
+	st := sp.p.Stats()
+	st.Truncated += sp.truncated
+	return st
+}

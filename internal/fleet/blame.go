@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
+	"grade10/internal/attribution"
 	"grade10/internal/core"
 	"grade10/internal/grade10"
 	"grade10/internal/par"
@@ -65,21 +67,41 @@ func BuildBlameProfile(run string, info rundir.Info, out *grade10.Output, width 
 		return bp
 	}
 	ts := out.Slices
-	for _, ip := range out.Profile.Instances {
-		machine := ip.Instance.Machine
-		if machine == core.GlobalMachine {
-			continue // cluster-global resources (barriers) are not host-shared
+	// The blame grid bounds depend only on the analyzed span and the slice
+	// width, never on the instance, so every qualifying instance resamples
+	// into an identical-length series: count them first and carve all demand
+	// series out of one flat backing.
+	first := int(ts.Start / vtime.Time(width))
+	last := int((ts.End + vtime.Time(width) - 1) / vtime.Time(width))
+	if last <= first {
+		return bp
+	}
+	n := last - first
+	shared := func(ip *attribution.InstanceProfile) string {
+		if ip.Instance.Machine == core.GlobalMachine {
+			return "" // cluster-global resources (barriers) are not host-shared
 		}
-		host := info.HostOf(machine)
+		return info.HostOf(ip.Instance.Machine)
+	}
+	count := 0
+	for _, ip := range out.Profile.Instances {
+		if shared(ip) != "" {
+			count++
+		}
+	}
+	if count == 0 {
+		return bp
+	}
+	backing := make([]float64, count*n)
+	bp.Hosts = make([]HostDemand, 0, count)
+	for _, ip := range out.Profile.Instances {
+		host := shared(ip)
 		if host == "" {
 			continue
 		}
-		first := int(ts.Start / vtime.Time(width))
-		last := int((ts.End + vtime.Time(width) - 1) / vtime.Time(width))
-		if last <= first {
-			continue
-		}
-		demand := make([]float64, last-first)
+		machine := ip.Instance.Machine
+		demand := backing[:n:n]
+		backing = backing[n:]
 		for k := range demand {
 			b0 := vtime.Time(int64(first+k) * int64(width))
 			b1 := b0.Add(width)
@@ -189,12 +211,53 @@ type BlameReport struct {
 	Neighbors []NeighborBlame `json:"neighbors"`
 }
 
-// entryBlame is the join result of one target HostDemand entry.
+// entryBlame is the join result of one target HostDemand entry. The maps
+// are created lazily on the first contended slice, so entries that never
+// contend cost no allocations.
 type entryBlame struct {
 	contended float64
 	self      float64
 	neighbors map[string]float64
 	evidence  map[string][]Evidence
+}
+
+// blameScratch holds one join's transient participant lists, pooled across
+// entries and Blame calls. The per-neighbor entry lists are flattened CSR
+// style (neighbor ni owns entries [neighOff[ni], neighOff[ni+1])) so a join
+// reuses four slices instead of allocating one per neighbor.
+type blameScratch struct {
+	selfOther []*HostDemand
+	neighRun  []string
+	neighOff  []int32
+	neighEnt  []*HostDemand
+	shares    []float64
+}
+
+var blameScratchPool = sync.Pool{New: func() any { return new(blameScratch) }}
+
+func acquireBlameScratch() *blameScratch {
+	s := blameScratchPool.Get().(*blameScratch)
+	s.selfOther = s.selfOther[:0]
+	s.neighRun = s.neighRun[:0]
+	s.neighOff = s.neighOff[:0]
+	s.neighEnt = s.neighEnt[:0]
+	s.shares = s.shares[:0]
+	return s
+}
+
+// release clears the pointer slots so a pooled scratch never pins retired
+// blame profiles, then returns the scratch to the pool.
+func (s *blameScratch) release() {
+	for i := range s.selfOther {
+		s.selfOther[i] = nil
+	}
+	for i := range s.neighEnt {
+		s.neighEnt[i] = nil
+	}
+	for i := range s.neighRun {
+		s.neighRun[i] = ""
+	}
+	blameScratchPool.Put(s)
 }
 
 // Blame joins the target run's demand timeline against its co-scheduled
@@ -270,50 +333,53 @@ func Blame(profiles []*BlameProfile, target string, cfg BlameConfig) (*BlameRepo
 // blameEntry joins one target (host, resource, machine) demand series
 // against every overlapping participant, slice by slice.
 func blameEntry(e *HostDemand, tp *BlameProfile, others []*BlameProfile, cfg BlameConfig) entryBlame {
-	out := entryBlame{neighbors: map[string]float64{}, evidence: map[string][]Evidence{}}
+	var out entryBlame
 	w := float64(cfg.SliceWidth) // ns
+
+	sc := acquireBlameScratch()
+	defer sc.release()
 
 	// Participants sharing (host, resource): the target's own other
 	// machines first (self-contention), then neighbors in run order.
-	var selfOther []*HostDemand
 	for i := range tp.Hosts {
 		o := &tp.Hosts[i]
 		if o != e && o.Host == e.Host && o.Resource == e.Resource {
-			selfOther = append(selfOther, o)
+			sc.selfOther = append(sc.selfOther, o)
 		}
 	}
-	type neighbor struct {
-		run     string
-		entries []*HostDemand
-	}
-	var neigh []neighbor
+	sc.neighOff = append(sc.neighOff, 0)
 	for _, p := range others {
-		var es []*HostDemand
+		mark := len(sc.neighEnt)
 		for i := range p.Hosts {
 			o := &p.Hosts[i]
 			if o.Host == e.Host && o.Resource == e.Resource {
-				es = append(es, o)
+				sc.neighEnt = append(sc.neighEnt, o)
 			}
 		}
-		if len(es) > 0 {
-			neigh = append(neigh, neighbor{run: p.Run, entries: es})
+		if len(sc.neighEnt) > mark {
+			sc.neighRun = append(sc.neighRun, p.Run)
+			sc.neighOff = append(sc.neighOff, int32(len(sc.neighEnt)))
 		}
 	}
+	nNeigh := len(sc.neighRun)
+	if cap(sc.shares) < nNeigh {
+		sc.shares = make([]float64, nNeigh)
+	}
+	shares := sc.shares[:nNeigh]
 
-	shares := make([]float64, len(neigh))
 	for k := e.First; k < e.First+len(e.Demand); k++ {
 		dT := e.at(k)
 		if dT <= blameEps {
 			continue // the target demanded nothing: no slowdown to blame
 		}
 		dSelf := 0.0
-		for _, o := range selfOther {
+		for _, o := range sc.selfOther {
 			dSelf += o.at(k)
 		}
 		dOthers := 0.0
-		for ni := range neigh {
+		for ni := 0; ni < nNeigh; ni++ {
 			shares[ni] = 0
-			for _, o := range neigh[ni].entries {
+			for _, o := range sc.neighEnt[sc.neighOff[ni]:sc.neighOff[ni+1]] {
 				shares[ni] += o.at(k)
 			}
 			dOthers += shares[ni]
@@ -328,15 +394,19 @@ func blameEntry(e *HostDemand, tp *BlameProfile, others []*BlameProfile, cfg Bla
 		rest := dSelf + dOthers
 		slice := contended
 		if rest > blameEps {
-			for ni := range neigh {
+			if out.neighbors == nil {
+				out.neighbors = map[string]float64{}
+				out.evidence = map[string][]Evidence{}
+			}
+			for ni := 0; ni < nNeigh; ni++ {
 				if shares[ni] <= blameEps {
 					continue
 				}
 				share := contended * shares[ni] / rest
-				out.neighbors[neigh[ni].run] += share
+				out.neighbors[sc.neighRun[ni]] += share
 				slice -= share
-				out.evidence[neigh[ni].run] = keepTopEvidence(
-					out.evidence[neigh[ni].run], Evidence{
+				out.evidence[sc.neighRun[ni]] = keepTopEvidence(
+					out.evidence[sc.neighRun[ni]], Evidence{
 						T0NS:           int64(k) * int64(cfg.SliceWidth),
 						T1NS:           int64(k+1) * int64(cfg.SliceWidth),
 						Machine:        e.Machine,
@@ -358,17 +428,28 @@ func blameEntry(e *HostDemand, tp *BlameProfile, others []*BlameProfile, cfg Bla
 }
 
 // keepTopEvidence inserts ev into a list bounded at n, ranked by blamed time
-// descending with earlier slices first on ties.
+// descending with earlier slices first on ties. The list is always sorted on
+// entry, so bubbling the new element into place suffices — no sort.Slice,
+// no per-insertion allocations on this hot path.
 func keepTopEvidence(list []Evidence, ev Evidence, n int) []Evidence {
-	list = append(list, ev)
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].BlamedNS != list[j].BlamedNS {
-			return list[i].BlamedNS > list[j].BlamedNS
+	if len(list) == n {
+		last := &list[n-1]
+		if ev.BlamedNS < last.BlamedNS ||
+			(ev.BlamedNS == last.BlamedNS && ev.T0NS >= last.T0NS) {
+			return list // would be evicted immediately: skip the append
 		}
-		return list[i].T0NS < list[j].T0NS
-	})
-	if len(list) > n {
-		list = list[:n]
+		list[n-1] = ev
+	} else {
+		list = append(list, ev)
+	}
+	for i := len(list) - 1; i > 0; i-- {
+		prev := &list[i-1]
+		if list[i].BlamedNS > prev.BlamedNS ||
+			(list[i].BlamedNS == prev.BlamedNS && list[i].T0NS < prev.T0NS) {
+			list[i-1], list[i] = list[i], list[i-1]
+		} else {
+			break
+		}
 	}
 	return list
 }

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"grade10/internal/attribution"
+	"grade10/internal/core"
+	"grade10/internal/grade10"
+	"grade10/internal/metrics"
+	"grade10/internal/race"
+	"grade10/internal/rundir"
+	"grade10/internal/vtime"
+)
+
+// blameResampleFixture builds an Output with nMachines per-machine cpu
+// instances of constant consumption rate, all placed on shared hosts.
+func blameResampleFixture(t testing.TB, nMachines, nSlices int) (rundir.Info, *grade10.Output) {
+	t.Helper()
+	width := 10 * vtime.Millisecond
+	slices := core.NewTimeslices(0, vtime.Time(int64(nSlices)*int64(width)), width)
+	res := &core.Resource{Name: "cpu", Kind: core.Consumable, Capacity: 8, PerMachine: true}
+	rt := core.NewResourceTrace()
+	var info rundir.Info
+	for m := 0; m < nMachines; m++ {
+		if err := rt.Add(res, m, &metrics.SampleSeries{}); err != nil {
+			t.Fatal(err)
+		}
+		info.Placement = append(info.Placement, rundir.Placement{
+			Machine: m, Host: "host" + string(rune('A'+m%4)),
+		})
+	}
+	prof := &attribution.Profile{Slices: slices}
+	for _, ri := range rt.Instances() {
+		cons := make([]float64, slices.Count)
+		rate := float64(ri.Machine + 1)
+		for k := range cons {
+			cons[k] = rate
+		}
+		prof.Instances = append(prof.Instances, &attribution.InstanceProfile{
+			Instance: ri, Consumption: cons,
+		})
+	}
+	return info, &grade10.Output{Slices: slices, Profile: prof}
+}
+
+// TestBuildBlameProfileResample pins the resampling semantics after the
+// flat-backing rewrite: a constant consumption rate stays that rate on the
+// coarser blame grid, for every instance, in deterministic order.
+func TestBuildBlameProfileResample(t *testing.T) {
+	info, out := blameResampleFixture(t, 8, 200)
+	bp := BuildBlameProfile("r", info, out, 100*vtime.Millisecond)
+	if len(bp.Hosts) != 8 {
+		t.Fatalf("entries = %d, want 8", len(bp.Hosts))
+	}
+	for i := range bp.Hosts {
+		h := &bp.Hosts[i]
+		if i > 0 {
+			prev := &bp.Hosts[i-1]
+			if prev.Host > h.Host || (prev.Host == h.Host && prev.Machine >= h.Machine) {
+				t.Fatalf("entries unsorted at %d: %+v after %+v", i, h, prev)
+			}
+		}
+		want := float64(h.Machine + 1)
+		if len(h.Demand) != 20 {
+			t.Fatalf("machine %d: %d blame slices, want 20", h.Machine, len(h.Demand))
+		}
+		for k, d := range h.Demand {
+			if !approx(d, want) {
+				t.Fatalf("machine %d slice %d: demand %g, want %g", h.Machine, k, d, want)
+			}
+		}
+	}
+}
+
+// TestBuildBlameProfileAllocBounded is the regression guard for the flat
+// demand backing: the per-instance make([]float64) of the old code scaled
+// allocations with the instance count; the rewrite allocates one backing
+// regardless. 64 instances must stay under a small fixed budget.
+func TestBuildBlameProfileAllocBounded(t *testing.T) {
+	info, out := blameResampleFixture(t, 64, 400)
+	// A GC cycle mid-measurement flushes scratch pools elsewhere and shows
+	// up as phantom allocations; hold it off while comparing.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(5, func() {
+		bp := BuildBlameProfile("r", info, out, 100*vtime.Millisecond)
+		if len(bp.Hosts) != 64 {
+			t.Fatal("wrong entry count")
+		}
+	})
+	// Budget: profile struct, entry slice, one flat backing, sort scaffolding
+	// — with headroom. The old per-instance layout needed 64 demand slices
+	// alone.
+	if allocs > 16 {
+		t.Fatalf("BuildBlameProfile allocated %.1f per run; want ≤ 16 (flat backing regressed?)", allocs)
+	}
+}
+
+// uncontendedProfiles: many entries, demand always within capacity, so no
+// join ever creates blame maps.
+func uncontendedProfiles(nRuns, nEntries, nSlices int) []*BlameProfile {
+	var ps []*BlameProfile
+	for r := 0; r < nRuns; r++ {
+		p := &BlameProfile{Run: string(rune('a' + r))}
+		for e := 0; e < nEntries; e++ {
+			d := make([]float64, nSlices)
+			for k := range d {
+				d[k] = 1 // total across runs stays ≤ capacity
+			}
+			p.Hosts = append(p.Hosts, HostDemand{
+				Host: "h" + string(rune('0'+e%4)), Resource: "cpu",
+				Machine: e, Capacity: 100, First: 0, Demand: d,
+			})
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// TestBlameJoinScratchPooled guards the pooled join scratch: once the pool
+// is warm, an uncontended Blame pass allocates only its fixed result
+// scaffolding, independent of entry and slice counts.
+func TestBlameJoinScratchPooled(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race mode randomly bypasses sync.Pool; alloc counts are nondeterministic")
+	}
+	profiles := uncontendedProfiles(4, 16, 500)
+	cfg := BlameConfig{SliceWidth: blameSlice, Parallelism: 1}
+	run := func() {
+		rep, err := Blame(profiles, "a", cfg)
+		if err != nil || rep.TotalContendedNS != 0 {
+			t.Fatalf("rep %+v err %v", rep, err)
+		}
+	}
+	run() // warm the scratch pool
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(5, run)
+	// Fixed cost: others/results slices, report, byRun map, worker fan-out.
+	// The old code added ~4 allocations per entry (participant lists, shares,
+	// two maps) — 16 entries would blow this budget several times over.
+	if allocs > 24 {
+		t.Fatalf("Blame allocated %.1f per run; want ≤ 24 (join scratch pooling regressed?)", allocs)
+	}
+}
+
+// BenchmarkBlameJoin measures the cross-job join on a contended fleet: 4
+// runs × 16 shared entries × 500 blame slices.
+func BenchmarkBlameJoin(b *testing.B) {
+	profiles := uncontendedProfiles(4, 16, 500)
+	// Push every slice over capacity so the split path runs too.
+	for _, p := range profiles {
+		for i := range p.Hosts {
+			for k := range p.Hosts[i].Demand {
+				p.Hosts[i].Demand[k] = 30
+			}
+		}
+	}
+	cfg := BlameConfig{SliceWidth: blameSlice, Parallelism: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Blame(profiles, "a", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

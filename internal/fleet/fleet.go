@@ -226,9 +226,9 @@ func (f *Fleet) runWorker(rs *runState) {
 	defer close(rs.done)
 
 	var (
-		pendingLines []string
-		pendingRows  []rundir.MonitoringRow
-		buildErr     error
+		pendingLog  []byte
+		pendingRows []rundir.MonitoringRow
+		buildErr    error
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
@@ -238,27 +238,27 @@ func (f *Fleet) runWorker(rs *runState) {
 				rs.requestStop()
 				return
 			}
-			for _, line := range pendingLines {
-				e.IngestLine(line)
+			if len(pendingLog) > 0 {
+				e.IngestChunk(pendingLog)
 			}
 			for _, row := range pendingRows {
 				e.IngestRow(row)
 			}
-			pendingLines, pendingRows = nil, nil
+			pendingLog, pendingRows = nil, nil
 			f.mu.Lock()
 			rs.info, rs.infoSet, rs.engine = info, true, e
 			f.mu.Unlock()
 			f.cfg.Logger.Info("fleet run ingesting",
 				"run", rs.name, "engine", info.Engine, "job", info.Job, "workers", info.Workers)
 		},
-		LogLine: func(line string) {
+		LogChunk: func(chunk []byte) {
 			f.mu.Lock()
 			e := rs.engine
 			f.mu.Unlock()
 			if e != nil {
-				e.IngestLine(line)
+				e.IngestChunk(chunk)
 			} else {
-				pendingLines = append(pendingLines, line)
+				pendingLog = append(pendingLog, chunk...)
 			}
 		},
 		MonitoringRow: func(row rundir.MonitoringRow) {

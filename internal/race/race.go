@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so tests
+// asserting exact allocation counts can skip: race mode randomly bypasses
+// sync.Pool to widen interleavings, which turns pooled scratch reuse into
+// fresh allocations and makes alloc-count guards nondeterministic.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -19,8 +19,14 @@ type FollowSink struct {
 	Info func(Info)
 	// LogLine fires for every complete line appended to execution.log,
 	// including comments and malformed lines (the consumer's parser counts
-	// those).
+	// those). It assumes the text format; set LogChunk instead to accept
+	// either encoding.
 	LogLine func(string)
+	// LogChunk fires with every raw byte range appended to execution.log,
+	// whatever its format — the consumer feeds a format-detecting parser
+	// (e.g. stream.Engine.IngestChunk). The slice is only valid during the
+	// callback. When both LogChunk and LogLine are set, LogChunk wins.
+	LogChunk func([]byte)
 	// MonitoringRow fires for every parsed monitoring.csv record.
 	MonitoringRow func(MonitoringRow)
 	// MonitoringError fires for malformed monitoring lines; the follow
@@ -53,18 +59,28 @@ func (o *FollowOptions) fill() {
 // present and the data files idle), or when stop is closed.
 func Follow(dir string, opt FollowOptions, stop <-chan struct{}, sink FollowSink) error {
 	opt.fill()
-	logTail := &lineTail{path: filepath.Join(dir, logFile)}
+	logPath := filepath.Join(dir, logFile)
+	var drainLog func() (int64, error)
+	if sink.LogChunk != nil {
+		logTail := &byteTail{path: logPath}
+		drainLog = func() (int64, error) { return logTail.drain(sink.LogChunk) }
+	} else {
+		logTail := &lineTail{path: logPath}
+		drainLog = func() (int64, error) {
+			return logTail.drain(func(line string) {
+				if sink.LogLine != nil {
+					sink.LogLine(line)
+				}
+			})
+		}
+	}
 	monTail := &lineTail{path: filepath.Join(dir, monitoringFile)}
 	infoSeen := false
 	lastGrowth := time.Now()
 
 	for {
 		grew := false
-		n, err := logTail.drain(func(line string) {
-			if sink.LogLine != nil {
-				sink.LogLine(line)
-			}
-		})
+		n, err := drainLog()
 		if err != nil {
 			return fmt.Errorf("rundir: following %s: %w", logFile, err)
 		}
@@ -109,6 +125,48 @@ func Follow(dir string, opt FollowOptions, stop <-chan struct{}, sink FollowSink
 		case <-stop:
 			return nil
 		case <-time.After(opt.Poll):
+		}
+	}
+}
+
+// byteTail incrementally reads raw bytes appended to a file, with no
+// line-structure assumptions — the binary-capable counterpart of lineTail.
+type byteTail struct {
+	path   string
+	offset int64
+}
+
+// drain reads everything appended since the last call and invokes fn with
+// each chunk read. The chunk is only valid during the call. A missing file
+// is not an error.
+func (t *byteTail) drain(fn func([]byte)) (int64, error) {
+	f, err := os.Open(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.offset, 0); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 64<<10)
+	var consumed int64
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			consumed += int64(n)
+			t.offset += int64(n)
+			if fn != nil {
+				fn(buf[:n])
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return consumed, nil
+			}
+			return consumed, rerr
 		}
 	}
 }

@@ -174,3 +174,55 @@ func TestWriteMonitoringFormat(t *testing.T) {
 		t.Fatalf("line 1 = %q", lines[1])
 	}
 }
+
+func TestSaveLoadBinaryLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	run := sampleRun()
+	if err := SaveOpts(dir, run, SaveOptions{BinaryLog: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "execution.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enginelog.DetectFormat(raw) != enginelog.FormatBinary {
+		t.Fatal("execution.log not written in binary format")
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LogFormat != enginelog.FormatBinary {
+		t.Fatalf("LogFormat = %v, want binary", back.LogFormat)
+	}
+	if back.LogBytes != int64(len(raw)) {
+		t.Fatalf("LogBytes = %d, want %d", back.LogBytes, len(raw))
+	}
+	if len(back.Log.Events) != len(run.Log.Events) {
+		t.Fatalf("%d vs %d log events", len(back.Log.Events), len(run.Log.Events))
+	}
+	for i := range run.Log.Events {
+		if back.Log.Events[i] != run.Log.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if back.LogStats.Degraded() {
+		t.Fatalf("binary log loaded degraded: %+v", back.LogStats)
+	}
+
+	// The text variant of the same run must load to the identical events.
+	textDir := filepath.Join(t.TempDir(), "run-text")
+	if err := Save(textDir, run); err != nil {
+		t.Fatal(err)
+	}
+	textBack, err := Load(textDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if textBack.LogFormat != enginelog.FormatText {
+		t.Fatalf("LogFormat = %v, want text", textBack.LogFormat)
+	}
+	if !reflect.DeepEqual(textBack.Log.Events, back.Log.Events) {
+		t.Fatal("text and binary run dirs loaded different events")
+	}
+}

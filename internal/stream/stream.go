@@ -203,7 +203,7 @@ type Engine struct {
 	mu  sync.Mutex
 	cfg Config
 
-	parser enginelog.Parser
+	parser enginelog.StreamParser
 
 	originSet bool
 	origin    vtime.Time // timeslice grid origin: first phase start
@@ -293,14 +293,32 @@ func (e *Engine) IngestLine(line string) {
 	}
 }
 
-// IngestReader streams a whole log (or log prefix) line by line. Only I/O
-// errors are returned; malformed lines are counted.
-func (e *Engine) IngestReader(r io.Reader) error {
-	truncated, err := enginelog.ForEachLine(r, e.IngestLine)
+// IngestChunk feeds a raw byte range of the execution log in either format;
+// the encoding is auto-detected from the first bytes fed. Chunks may split
+// lines or binary records arbitrarily.
+func (e *Engine) IngestChunk(chunk []byte) {
 	e.mu.Lock()
-	e.stats.Truncated += int64(truncated)
-	e.mu.Unlock()
-	return err
+	defer e.mu.Unlock()
+	e.lastIngest = e.cfg.Now()
+	e.parser.Feed(chunk, e.ingestEventLocked)
+}
+
+// IngestReader streams a whole log (or log prefix) in either format. Only
+// I/O errors are returned; malformed input is counted.
+func (e *Engine) IngestReader(r io.Reader) error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			e.IngestChunk(buf[:n])
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
 }
 
 // IngestEvent feeds one already-parsed event (the in-process tap path).
@@ -502,10 +520,12 @@ func (e *Engine) IngestRow(row rundir.MonitoringRow) {
 }
 
 // LogDone marks the event feed complete; remaining windows no longer wait
-// on the log watermark.
+// on the log watermark. Any buffered partial line or binary record is
+// flushed first.
 func (e *Engine) LogDone() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.parser.Finish(e.ingestEventLocked)
 	e.logDone = true
 	e.maybeFlushLocked()
 }
@@ -742,6 +762,7 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 	if e.finalized {
 		return e.finalOut, e.finalErr
 	}
+	e.parser.Finish(e.ingestEventLocked)
 	e.logDone, e.monDone = true, true
 
 	// Force-close surviving phases, deepest first so parents close after

@@ -394,3 +394,73 @@ func head(s string, n int) string {
 	}
 	return strings.Join(lines, "\n")
 }
+
+// TestStreamBinaryIngestEquivalence feeds the identical run as binary chunks
+// through IngestChunk (the mixed-format path serve and fleet use) and as
+// text lines; both must reproduce the batch report byte for byte.
+func TestStreamBinaryIngestEquivalence(t *testing.T) {
+	f := getFixture(t)
+	textLog, err := enginelog.Read(strings.NewReader(f.logText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := enginelog.WriteBinary(&bin, textLog); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(feed func(e *stream.Engine)) string {
+		t.Helper()
+		e, err := stream.New(stream.Config{
+			Models: f.models, RetainForFinal: true, WindowSlices: 16, MaxWindows: 4,
+			ExpectedInstances: len(f.monitoring),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(e)
+		e.LogDone()
+		for _, line := range strings.Split(f.monText, "\n") {
+			e.IngestMonitoringLine(line)
+		}
+		e.MonitoringDone()
+		out, err := e.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteAll(&buf, out); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		if st.ParseErrors != 0 || st.Truncated != 0 {
+			t.Fatalf("clean input produced parse errors: %+v", st)
+		}
+		return buf.String()
+	}
+
+	// Binary, in awkward chunk sizes that split records.
+	binText := render(func(e *stream.Engine) {
+		data := bin.Bytes()
+		for off := 0; off < len(data); off += 777 {
+			end := off + 777
+			if end > len(data) {
+				end = len(data)
+			}
+			e.IngestChunk(data[off:end])
+		}
+	})
+	// Text through the same chunk path.
+	textChunked := render(func(e *stream.Engine) {
+		if err := e.IngestReader(strings.NewReader(f.logText)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if binText != f.batchText {
+		t.Fatalf("binary-ingested report differs from batch report\n--- batch ---\n%s\n--- binary ---\n%s",
+			head(f.batchText, 40), head(binText, 40))
+	}
+	if textChunked != f.batchText {
+		t.Fatal("text chunk-ingested report differs from batch report")
+	}
+}
