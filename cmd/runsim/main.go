@@ -11,8 +11,9 @@
 //	runsim -engine giraph -algorithm pagerank -out run/ -trace trace.json
 //
 // With -serve, a live characterization server (the same endpoints as
-// cmd/serve) runs during the simulation, fed in-process through a tap on the
-// engine's logger; -linger keeps it up after the run for inspection. With
+// cmd/serve, including the embedded visual profiler under /ui/) runs during
+// the simulation, fed in-process through a tap on the engine's logger;
+// -linger keeps it up after the run for inspection. With
 // -trace, the simulator's self-trace (supersteps/iterations with their
 // virtual-time windows, plus any live-analysis stages) is written as a
 // Chrome trace-event file loadable in Perfetto.
@@ -38,6 +39,7 @@ import (
 	"grade10/internal/report"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
+	"grade10/internal/ui"
 	"grade10/internal/vtime"
 	"grade10/internal/workload"
 )
@@ -62,6 +64,7 @@ func main() {
 		linger    = flag.Duration("linger", 0, "with -serve: keep the server up this long after the run")
 		parallel  = flag.Int("parallelism", 0, "host-side precompute/analysis worker count (0 = GOMAXPROCS); logs and results are identical for every value")
 		pprofOn   = flag.Bool("pprof", false, "with -serve: expose net/http/pprof under /debug/pprof/")
+		uiOn      = flag.Bool("ui", true, "with -serve: mount the embedded visual profiler under /ui/ (live SSE updates on /api/events)")
 		explainOn = flag.Bool("explain", false, "with -serve: capture attribution provenance and serve /explain queries")
 		traceOut  = flag.String("trace", "", "write the simulator/analysis self-trace as Chrome trace-event JSON to this path")
 		binaryLog = flag.Bool("binary-log", false, "write execution.log in the compact binary enginelog format (consumers auto-detect either format)")
@@ -110,7 +113,7 @@ func main() {
 			cfg.OSNoiseCores = *noise
 		}
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, tracer)
+			l, err := startLive(*serveAddr, "giraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, *uiOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -147,7 +150,7 @@ func main() {
 			cfg.OSNoiseCores = *noise
 		}
 		if *serveAddr != "" {
-			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, tracer)
+			l, err := startLive(*serveAddr, "powergraph", prog.Name(), cfg.Workers, cfg.ThreadsPerWorker, cfg.Machine, *parallel, *pprofOn, *explainOn, *uiOn, tracer)
 			if err != nil {
 				fail(err)
 			}
@@ -217,7 +220,7 @@ type liveServe struct {
 // the bundle whose tap hook goes into the simulator's Config.Tee. The
 // tracer (which may be nil) is shared with the simulator, so one -trace file
 // interleaves engine supersteps with analysis window flushes.
-func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn, explainOn bool, tracer *obs.Tracer) (*liveServe, error) {
+func startLive(addr, engineName, job string, workers, threads int, m cluster.MachineSpec, parallel int, pprofOn, explainOn, uiOn bool, tracer *obs.Tracer) (*liveServe, error) {
 	models, err := grade10.ModelsForEngine(engineName, grade10.ModelParams{
 		Job:              job,
 		Cores:            m.Cores,
@@ -232,14 +235,20 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 	if m.DiskBandwidth > 0 {
 		resources++
 	}
-	se, err := stream.New(stream.Config{
+	var broker *ui.Broker
+	cfg := stream.Config{
 		Models:            models,
 		ExpectedInstances: workers * resources,
 		RetainForFinal:    true,
 		Parallelism:       parallel,
 		Tracer:            tracer,
 		Explain:           explainOn,
-	})
+	}
+	if uiOn {
+		broker = ui.NewBroker(0)
+		cfg.OnWindowFlush = broker.OnWindowFlush
+	}
+	se, err := stream.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +256,15 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 	if pprofOn {
 		handler.EnablePprof()
 	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	handler.RegisterEngineMetrics(reg)
+	if broker != nil {
+		broker.RegisterMetrics(reg)
+		uis := ui.NewServer(ui.Config{Engine: se, Broker: broker})
+		handler.MountUI(uis, uis.Routes())
+	}
+	handler.SetRegistry(reg)
 	ls := &liveServe{
 		engine: se,
 		tap:    stream.NewTap(se, 0, stream.BlockWhenFull),

@@ -9,6 +9,9 @@
 // Usage:
 //
 //	serve -run run/ -addr :7070
+//	open  localhost:7070/ui/         # embedded visual profiler (heatmap,
+//	                                 # timeline, comms matrix, click-through
+//	                                 # explain; live SSE on /api/events)
 //	curl localhost:7070/profile      # live profile (JSON)
 //	curl localhost:7070/metrics      # Prometheus text format
 //	curl localhost:7070/trace        # Chrome trace-event JSON (Perfetto)
@@ -34,6 +37,8 @@
 //	curl localhost:7070/fleet/bottlenecks   # top-K across all runs
 //	curl localhost:7070/fleet/regressions   # top-K archive diff verdicts
 //	curl 'localhost:7070/fleet/blame?run=a' # cross-job blame split
+//	curl 'localhost:7070/diff?a=ID&b=ID'    # archived-run diff (JSON or ?format=text)
+//	open  localhost:7070/ui/                # visual profiler with run picker + diff view
 package main
 
 import (
@@ -55,6 +60,7 @@ import (
 	"grade10/internal/profstore"
 	"grade10/internal/rundir"
 	"grade10/internal/stream"
+	"grade10/internal/ui"
 	"grade10/internal/vtime"
 )
 
@@ -72,6 +78,7 @@ func main() {
 		bounded     = flag.Bool("bounded", false, "strictly bounded memory: drop raw inputs, /report serves no exact text")
 		parallel    = flag.Int("parallelism", 0, "analysis worker count (0 = GOMAXPROCS); results are identical for every value")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		uiOn        = flag.Bool("ui", true, "serve the embedded visual profiler under /ui/ (view models under /api/, live updates over SSE on /api/events)")
 		explainOn   = flag.Bool("explain", false, "capture attribution provenance and serve /explain queries")
 		stale       = flag.Duration("stale", 0, "report /healthz degraded (503) when the last ingested input is older than this (0 disables)")
 		storeDir    = flag.String("store", "", "profile archive directory: serve /runs and /diff, and archive this run once finalized")
@@ -103,7 +110,7 @@ func main() {
 			poll: *poll, idle: *idle, timeslice: *timeslice,
 			window: *window, maxWin: *maxWin, parallel: *parallel,
 			explain: *explainOn, storeDir: *storeDir, storeMax: *storeMax,
-			storeShards: *storeShards, shutdownTO: *shutdownTO,
+			storeShards: *storeShards, shutdownTO: *shutdownTO, ui: *uiOn,
 		})
 		return
 	}
@@ -149,11 +156,22 @@ func main() {
 		liveSrv     *stream.Server
 		runInfo     rundir.Info
 	)
+	// The SSE broker exists before the engine: buildEngine wires its
+	// OnWindowFlush hook into the stream config so every flushed window
+	// becomes one `event: window` frame on /api/events.
+	var broker *ui.Broker
+	if *uiOn {
+		broker = ui.NewBroker(0)
+	}
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
 			runInfo = info
 			tracer := obs.NewTracer()
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer)
+			var onFlush func(*stream.WindowResult)
+			if broker != nil {
+				onFlush = broker.OnWindowFlush
+			}
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer, onFlush)
 			if err != nil {
 				fail(err)
 			}
@@ -185,6 +203,11 @@ func main() {
 			obs.BridgeTracer(reg, tracer)
 			srv.RegisterEngineMetrics(reg)
 			srv.RegisterStoreMetrics(reg)
+			if broker != nil {
+				broker.RegisterMetrics(reg)
+				uis := ui.NewServer(ui.Config{Engine: engine, Broker: broker})
+				srv.MountUI(uis, uis.Routes())
+			}
 			srv.SetRegistry(reg)
 			liveSrv = srv
 			live := http.Handler(srv)
@@ -274,6 +297,7 @@ type fleetOptions struct {
 	storeDir              string
 	storeMax, storeShards int
 	shutdownTO            time.Duration
+	ui                    bool
 }
 
 // runFleet is fleet mode: many concurrent runs behind the admission
@@ -303,6 +327,12 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 	}
 	fl := fleet.New(cfg)
 	srv := fleet.NewServer(fl)
+	// Fleet UI: run picker over /fleet/runs, per-run view models via
+	// /api/*?run=, archive diffs via /diff. SSE is single-run only.
+	if opt.ui {
+		uis := ui.NewServer(ui.Config{Fleet: fl})
+		srv.MountUI(uis, uis.Routes())
+	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	srv.RegisterMetrics(reg)
@@ -341,7 +371,7 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 // buildEngine resolves the run's models through the same entry point as the
 // batch CLI and sizes the streaming engine from the run metadata. The tracer
 // self-traces window flushes and the final batch pipeline, feeding /trace.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer) (*stream.Engine, error) {
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer, onFlush func(*stream.WindowResult)) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -365,6 +395,7 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		Parallelism:       parallel,
 		Tracer:            tracer,
 		Explain:           explainOn,
+		OnWindowFlush:     onFlush,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)

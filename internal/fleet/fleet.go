@@ -509,6 +509,39 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 	return snap
 }
 
+// DiffArchived structurally diffs two archived runs by ID (or unique prefix,
+// as the store resolves them), using the fleet's diff configuration.
+func (f *Fleet) DiffArchived(a, b string) (*profdiff.Report, error) {
+	if f.cfg.Archive == nil {
+		return nil, fmt.Errorf("fleet: no archive configured")
+	}
+	f.archiveMu.Lock()
+	recA, errA := f.cfg.Archive.Get(a)
+	recB, errB := f.cfg.Archive.Get(b)
+	f.archiveMu.Unlock()
+	if errA != nil {
+		return nil, errA
+	}
+	if errB != nil {
+		return nil, errB
+	}
+	return profdiff.Diff(recA, recB, f.cfg.DiffCfg)
+}
+
+// EngineFor returns the live stream engine and run metadata for an actively
+// ingesting run, or ok=false when the run is unknown or already torn down
+// (engines are released when a run finishes — finished runs live on only as
+// archive records). The UI's per-run view models draw from this.
+func (f *Fleet) EngineFor(name string) (*stream.Engine, rundir.Info, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rs, ok := f.runs[name]
+	if !ok || rs.engine == nil {
+		return nil, rundir.Info{}, false
+	}
+	return rs.engine, rs.info, true
+}
+
 // Staleness reports per-run ingest age (seconds) for runs that are actively
 // ingesting — the source for the per-run staleness gauges.
 func (f *Fleet) Staleness() map[string]float64 {

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
 	"grade10/internal/obs"
+	"grade10/internal/profdiff"
 )
 
 // Server is the fleet-mode HTTP surface:
@@ -20,10 +22,12 @@ import (
 //	GET  /metrics              Prometheus text (when a registry is attached)
 //	GET  /healthz              liveness
 type Server struct {
-	fleet *Fleet
-	mux   *http.ServeMux
+	fleet  *Fleet
+	mux    *http.ServeMux
+	routes []obs.Route
 
 	reg       *obs.Registry
+	httpm     *obs.HTTPMetrics
 	staleness *obs.GaugeVec
 	staleSeen map[string]bool
 }
@@ -31,23 +35,64 @@ type Server struct {
 // NewServer wires the fleet behind its HTTP API.
 func NewServer(f *Fleet) *Server {
 	s := &Server{fleet: f, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/fleet/runs", s.handleRuns)
-	s.mux.HandleFunc("/fleet/bottlenecks", s.handleBottlenecks)
-	s.mux.HandleFunc("/fleet/regressions", s.handleRegressions)
-	s.mux.HandleFunc("/fleet/blame", s.handleBlame)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("/fleet/runs", "GET: admission counters + retained runs; POST: register a run directory", s.handleRuns)
+	s.handle("/fleet/bottlenecks", "top-K bottlenecks across all runs (?k=)", s.handleBottlenecks)
+	s.handle("/fleet/regressions", "top-K archive diff verdicts (?k=)", s.handleRegressions)
+	s.handle("/fleet/blame", "cross-job blame report (?run=)", s.handleBlame)
+	s.handle("/diff", "structural diff of two archived runs ?a=&b= (JSON; &format=text)", s.handleDiff)
+	s.handle("/metrics", "Prometheus text exposition", s.handleMetrics)
+	s.handle("/healthz", "liveness", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.handle("/", "this endpoint index (JSON)", s.handleIndex)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// handle registers a handler and records the route in the index/metrics
+// route table.
+func (s *Server) handle(path, desc string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, h)
+	s.routes = append(s.routes, obs.Route{Path: path, Desc: desc})
+}
+
+// MountUI mounts the embedded visual profiler (internal/ui) under /ui/ and
+// /api/ and merges its route table into the endpoint index and the HTTP
+// metrics label space. Call before serving traffic.
+func (s *Server) MountUI(h http.Handler, routes []obs.Route) {
+	s.mux.Handle("/ui/", h)
+	s.mux.Handle("/api/", h)
+	s.mux.Handle("/ui", http.RedirectHandler("/ui/", http.StatusMovedPermanently))
+	s.routes = append(s.routes, routes...)
+}
+
+// ServeHTTP implements http.Handler. With a registry attached every request
+// is instrumented against its mounted route.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.httpm.Serve(obs.RouteLabel(s.routes, r.URL.Path), s.mux, w, r)
+}
+
+// handleIndex serves the JSON endpoint index: every mounted route with its
+// one-line description, sorted by path. Unknown paths answer 404.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	routes := make([]obs.Route, len(s.routes))
+	copy(routes, s.routes)
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Path < routes[j].Path })
+	writeJSON(w, struct {
+		Service   string      `json:"service"`
+		Endpoints []obs.Route `json:"endpoints"`
+	}{"grade10 fleet characterization", routes})
+}
 
 // RegisterMetrics exposes the fleet's backpressure counters and the per-run
-// staleness gauges on reg, and routes /metrics through it.
+// staleness gauges on reg, routes /metrics through it, and turns on the
+// per-route HTTP request metrics.
 func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	s.reg = reg
+	s.httpm = obs.NewHTTPMetrics(reg)
 	reg.GaugeFunc("grade10_fleet_runs_active",
 		"Runs currently ingesting (bounded by the admission scheduler).",
 		func() float64 { a, _, _ := s.fleet.Counts(); return float64(a) })
@@ -134,6 +179,27 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"regressions": regs})
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	idA, idB := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if idA == "" || idB == "" {
+		http.Error(w, "need ?a=<run>&b=<run> (archive IDs or unique prefixes; see /fleet/runs)",
+			http.StatusBadRequest)
+		return
+	}
+	rep, err := s.fleet.DiffArchived(idA, idB)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = profdiff.WriteText(w, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = profdiff.WriteJSON(w, rep)
 }
 
 func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {

@@ -35,12 +35,16 @@ import (
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
+	routes []obs.Route
 
 	// staleAfter > 0 makes /healthz answer 503 when the last ingested input
 	// is older than the threshold (and the run is not finalized).
 	staleAfter time.Duration
 	// registry, when set, has its families appended to /metrics.
 	registry *obs.Registry
+	// httpm instruments every request with per-route count and latency
+	// families on the registry; nil (no registry) serves uninstrumented.
+	httpm *obs.HTTPMetrics
 	// store, when set via SetStore, serves the profile archive endpoints
 	// (/runs, /runs/{id}, /diff) and the watchdog gauges.
 	store *storeState
@@ -52,18 +56,35 @@ type Server struct {
 // NewServer wraps an engine.
 func NewServer(e *Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/profile", s.handleProfile)
-	s.mux.HandleFunc("/phases", s.handlePhases)
-	s.mux.HandleFunc("/bottlenecks", s.handleBottlenecks)
-	s.mux.HandleFunc("/windows", s.handleWindows)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/report", s.handleReport)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/trace", s.handleTrace)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/", s.handleIndex)
+	s.handle("/profile", "full live profile snapshot (JSON)", s.handleProfile)
+	s.handle("/phases", "open phases and per-type aggregates (JSON)", s.handlePhases)
+	s.handle("/bottlenecks", "cumulative bottleneck rows (JSON)", s.handleBottlenecks)
+	s.handle("/windows", "recent analysis-window ring (JSON)", s.handleWindows)
+	s.handle("/stats", "ingest and robustness counters (JSON)", s.handleStats)
+	s.handle("/metrics", "Prometheus text exposition", s.handleMetrics)
+	s.handle("/report", "exact final report (text; 503 until finalized)", s.handleReport)
+	s.handle("/explain", "provenance query ?q=phase=.. machine=.. resource=.. (JSON or ?format=text)", s.handleExplain)
+	s.handle("/trace", "Chrome trace-event JSON (Perfetto-loadable)", s.handleTrace)
+	s.handle("/healthz", "liveness; 503 degraded when ingest is stale", s.handleHealthz)
+	s.handle("/", "this endpoint index (JSON)", s.handleIndex)
 	return s
+}
+
+// handle registers a handler and records the route in the index/metrics
+// route table.
+func (s *Server) handle(path, desc string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, h)
+	s.routes = append(s.routes, obs.Route{Path: path, Desc: desc})
+}
+
+// MountUI mounts the embedded visual profiler (internal/ui) under /ui/ and
+// /api/ and merges its route table into the endpoint index and the HTTP
+// metrics label space. Call before serving traffic.
+func (s *Server) MountUI(h http.Handler, routes []obs.Route) {
+	s.mux.Handle("/ui/", h)
+	s.mux.Handle("/api/", h)
+	s.mux.Handle("/ui", http.RedirectHandler("/ui/", http.StatusMovedPermanently))
+	s.routes = append(s.routes, routes...)
 }
 
 // SetStaleThreshold configures the /healthz degraded threshold; 0 disables
@@ -71,8 +92,13 @@ func NewServer(e *Engine) *Server {
 func (s *Server) SetStaleThreshold(d time.Duration) { s.staleAfter = d }
 
 // SetRegistry appends the registry's families (self-trace stage metrics, Go
-// runtime gauges, ...) to the /metrics exposition. Set before serving.
-func (s *Server) SetRegistry(r *obs.Registry) { s.registry = r }
+// runtime gauges, ...) to the /metrics exposition and turns on the per-route
+// HTTP request metrics (grade10_http_requests_total,
+// grade10_http_request_seconds). Set before serving.
+func (s *Server) SetRegistry(r *obs.Registry) {
+	s.registry = r
+	s.httpm = obs.NewHTTPMetrics(r)
+}
 
 // Degraded reports whether the server currently considers ingest stale, and
 // why. Always healthy with no threshold, or once finalized.
@@ -115,14 +141,17 @@ func (s *Server) RegisterEngineMetrics(r *obs.Registry) {
 		func() float64 { return float64(s.engine.Stats().ParseErrors) })
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With a registry attached every request
+// is instrumented against its mounted route.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.httpm.Serve(obs.RouteLabel(s.routes, r.URL.Path), s.mux, w, r)
+}
 
 // EnablePprof mounts the net/http/pprof profiling endpoints under
 // /debug/pprof/ on the server's mux, so a live characterization service can
 // itself be profiled (CPU, heap, goroutines) while it ingests a run.
 func (s *Server) EnablePprof() {
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.handle("/debug/pprof/", "net/http/pprof profiling index", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -136,17 +165,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// handleIndex serves the JSON endpoint index: every mounted route with its
+// one-line description, sorted by path. Unknown paths answer 404.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "grade10 live characterization")
-	fmt.Fprintln(w, "endpoints: /profile /phases /bottlenecks /windows /stats /metrics /report /explain /trace /healthz")
-	if s.store != nil {
-		fmt.Fprintln(w, "archive: /runs /runs/{id} /diff?a=&b=[&format=text]")
-	}
+	routes := make([]obs.Route, len(s.routes))
+	copy(routes, s.routes)
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Path < routes[j].Path })
+	writeJSON(w, struct {
+		Service   string      `json:"service"`
+		Endpoints []obs.Route `json:"endpoints"`
+	}{"grade10 live characterization", routes})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {

@@ -117,9 +117,55 @@ type Snapshot struct {
 	Windows     []*WindowResult         `json:"windows"`
 }
 
+// heatKey identifies one cell of the cumulative attribution heatmap:
+// attributed consumption of one phase type on one (resource, machine)
+// instance, summed across flushed windows.
+type heatKey struct {
+	TypePath string
+	Machine  int
+	Resource string
+}
+
+// HeatCell is one (phase type × machine × resource) cell of the cumulative
+// attribution heatmap, the render-ready aggregate behind the visual
+// profiler's /api/heatmap before finalization.
+type HeatCell struct {
+	TypePath    string  `json:"type_path"`
+	Machine     int     `json:"machine"`
+	Resource    string  `json:"resource"`
+	UnitSeconds float64 `json:"unit_seconds"`
+}
+
+// HeatCells returns the cumulative per-(phase type, machine, resource)
+// attributed consumption across flushed windows, sorted by (TypePath,
+// Machine, Resource). The fold order is deterministic (windows flush in
+// order; instances and usages iterate in the attribution profile's
+// deterministic order), so the result is byte-identical at every
+// parallelism.
+func (e *Engine) HeatCells() []HeatCell {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]HeatCell, 0, len(e.heatAggs))
+	for k, v := range e.heatAggs {
+		out = append(out, HeatCell{TypePath: k.TypePath, Machine: k.Machine,
+			Resource: k.Resource, UnitSeconds: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TypePath != b.TypePath {
+			return a.TypePath < b.TypePath
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Resource < b.Resource
+	})
+	return out
+}
+
 // foldWindowLocked turns one window's profile and bottleneck report into a
 // WindowResult on the ring and folds it into the cumulative aggregates.
-func (e *Engine) foldWindowLocked(win core.Timeslices, prof *attribution.Profile, rep *bottleneck.Report) {
+func (e *Engine) foldWindowLocked(win core.Timeslices, prof *attribution.Profile, rep *bottleneck.Report) *WindowResult {
 	span := win.End.Sub(win.Start).Seconds()
 	wr := &WindowResult{
 		Index:        e.nextWindow,
@@ -156,6 +202,18 @@ func (e *Engine) foldWindowLocked(win core.Timeslices, prof *attribution.Profile
 		agg.spanSeconds += span
 		consumedAll += consumed
 		attributedAll += attributed
+		// Heatmap fold: attributed unit·seconds per (phase type, machine,
+		// resource). Usage iterates in the profile's deterministic order, so
+		// per-key accumulation is identical at every parallelism.
+		for _, u := range ip.Usage {
+			tp := "?"
+			if u.Phase.Type != nil {
+				tp = u.Phase.Type.Path()
+			}
+			hk := heatKey{TypePath: tp, Machine: ip.Instance.Machine,
+				Resource: ip.Instance.Resource.Name}
+			e.heatAggs[hk] += u.Total(win)
+		}
 	}
 	if consumedAll > 0 {
 		wr.Coverage = attributedAll / consumedAll
@@ -190,6 +248,7 @@ func (e *Engine) foldWindowLocked(win core.Timeslices, prof *attribution.Profile
 		e.windows = append([]*WindowResult(nil), e.windows[over:]...)
 	}
 	e.stats.WindowsFlushed++
+	return wr
 }
 
 // Stats returns the engine's counters, with the line-parser statistics
@@ -273,7 +332,6 @@ func (e *Engine) Snapshot() Snapshot {
 		return snap.PhaseTypes[i].TypePath < snap.PhaseTypes[j].TypePath
 	})
 
-	var consumedAll, attributedAll float64
 	for key, agg := range e.instAggs {
 		capacity := 0.0
 		if f := e.feeds[key]; f != nil {
@@ -293,13 +351,19 @@ func (e *Engine) Snapshot() Snapshot {
 		if agg.consumed > 0 {
 			is.Coverage = agg.attributed / agg.consumed
 		}
-		consumedAll += agg.consumed
-		attributedAll += agg.attributed
 		snap.Instances = append(snap.Instances, is)
 	}
 	sort.Slice(snap.Instances, func(i, j int) bool {
 		return snap.Instances[i].Key < snap.Instances[j].Key
 	})
+	// Accumulate cluster coverage over the sorted instances, not the map
+	// iteration: float addition order must not leak map randomization into
+	// the snapshot (the UI view models are byte-identical by contract).
+	var consumedAll, attributedAll float64
+	for _, is := range snap.Instances {
+		consumedAll += is.ConsumedUnitSeconds
+		attributedAll += is.AttributedUnitSeconds
+	}
 	if consumedAll > 0 {
 		snap.Coverage = attributedAll / consumedAll
 	}

@@ -36,9 +36,9 @@ type storeState struct {
 // zero-values take profdiff defaults. Set before serving traffic.
 func (s *Server) SetStore(store profstore.Archive, diffCfg profdiff.Config) {
 	s.store = &storeState{store: store, diffCfg: diffCfg}
-	s.mux.HandleFunc("/runs", s.handleRuns)
-	s.mux.HandleFunc("/runs/", s.handleRunByID)
-	s.mux.HandleFunc("/diff", s.handleDiff)
+	s.handle("/runs", "archived run metadata (JSON)", s.handleRuns)
+	s.handle("/runs/", "one full archived record by ID or unique prefix (JSON)", s.handleRunByID)
+	s.handle("/diff", "structural diff of two archived runs ?a=&b= (JSON; &format=text)", s.handleDiff)
 }
 
 // ArchiveRecord puts a record into the attached store (a no-op without one),

@@ -88,6 +88,13 @@ type Config struct {
 	// explainer. Off by default — capture costs memory proportional to the
 	// retained windows.
 	Explain bool
+	// OnWindowFlush, when set, is called after each window flush with the
+	// flushed WindowResult (immutable once handed over), and once more with
+	// nil after Finalize completes. It is invoked with the engine lock held:
+	// the callback must be fast and must not call back into the engine —
+	// hand the result to a channel or a non-blocking broker and return.
+	// This is the live UI's SSE feed.
+	OnWindowFlush func(*WindowResult)
 	// Now is the wall clock used for ingest staleness tracking; nil takes
 	// time.Now. Injectable for tests.
 	Now func() time.Time
@@ -229,6 +236,7 @@ type Engine struct {
 	instAggs map[string]*instAgg
 	btlAggs  map[bottleneckKey]*bottleneckAgg
 	typeAggs map[string]*typeAgg
+	heatAggs map[heatKey]float64
 	counters map[string]*CounterValue
 
 	// Retained raw inputs (RetainForFinal only).
@@ -261,6 +269,7 @@ func New(cfg Config) (*Engine, error) {
 		instAggs:   map[string]*instAgg{},
 		btlAggs:    map[bottleneckKey]*bottleneckAgg{},
 		typeAggs:   map[string]*typeAgg{},
+		heatAggs:   map[heatKey]float64{},
 		counters:   map[string]*CounterValue{},
 		lastIngest: cfg.Now(),
 	}, nil
@@ -680,7 +689,10 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 		return // unreachable: windows are never empty
 	}
 	rep := bottleneck.DetectWindow(prof, e.cfg.Bottleneck)
-	e.foldWindowLocked(win, prof, rep)
+	wr := e.foldWindowLocked(win, prof, rep)
+	if e.cfg.OnWindowFlush != nil {
+		e.cfg.OnWindowFlush(wr)
+	}
 	if rec != nil {
 		ex := explain.NewExplainer(prof, rec)
 		if e.cfg.Bottleneck.SaturationThreshold > 0 {
@@ -793,6 +805,9 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 	}
 	e.maybeFlushLocked()
 	e.finalized = true
+	if e.cfg.OnWindowFlush != nil {
+		e.cfg.OnWindowFlush(nil) // finalize notification
+	}
 
 	if !e.cfg.RetainForFinal {
 		return nil, nil

@@ -1,0 +1,193 @@
+package ui_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"grade10/internal/obs"
+	"grade10/internal/stream"
+	"grade10/internal/ui"
+)
+
+// sseClient subscribes over a real HTTP connection and hands back frames
+// (event name + data line) as they arrive.
+type sseClient struct {
+	cancel context.CancelFunc
+	frames chan [2]string
+	done   chan struct{}
+}
+
+func subscribe(t *testing.T, url string) *sseClient {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("subscribe: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		cancel()
+		t.Fatalf("content type %q", ct)
+	}
+	c := &sseClient{cancel: cancel, frames: make(chan [2]string, 64), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // frames can be large
+		var event string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				c.frames <- [2]string{event, strings.TrimPrefix(line, "data: ")}
+			}
+		}
+	}()
+	return c
+}
+
+func (c *sseClient) next(t *testing.T, want string) string {
+	t.Helper()
+	select {
+	case fr := <-c.frames:
+		if fr[0] != want {
+			t.Fatalf("got event %q (%s), want %q", fr[0], fr[1], want)
+		}
+		return fr[1]
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %q frame", want)
+		return ""
+	}
+}
+
+// TestSSEWindowFrames: every subscriber gets the hello frame on connect and
+// exactly one well-formed `event: window` frame per flush, then `event:
+// final` when the engine finalizes.
+func TestSSEWindowFrames(t *testing.T) {
+	broker := ui.NewBroker(0)
+	s := ui.NewServer(ui.Config{Broker: broker})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	a := subscribe(t, ts.URL+"/api/events")
+	defer a.cancel()
+	b := subscribe(t, ts.URL+"/api/events")
+	defer b.cancel()
+	a.next(t, "hello")
+	b.next(t, "hello")
+
+	broker.OnWindowFlush(&stream.WindowResult{Index: 3, StartSeconds: 1, EndSeconds: 2})
+	for _, c := range []*sseClient{a, b} {
+		data := c.next(t, "window")
+		if !strings.Contains(data, `"index": 3`) && !strings.Contains(data, `"index":3`) {
+			t.Fatalf("window frame data = %s", data)
+		}
+		if strings.Contains(data, "\n") {
+			t.Fatal("frame data not single-line")
+		}
+	}
+
+	broker.OnWindowFlush(nil) // finalize signal
+	a.next(t, "final")
+	b.next(t, "final")
+
+	// No extra frames: one per flush per subscriber.
+	select {
+	case fr := <-a.frames:
+		t.Fatalf("unexpected extra frame %v", fr)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestSSESlowSubscriberDropped: a subscriber that stops reading must be
+// disconnected once its bounded queue fills — publishing never blocks and
+// the drop is counted on grade10_ui_sse_dropped_total, while a healthy
+// subscriber keeps receiving.
+func TestSSESlowSubscriberDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	broker := ui.NewBroker(2) // tiny queue so the test overflows it fast
+	broker.RegisterMetrics(reg)
+	s := ui.NewServer(ui.Config{Broker: broker})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	slowCtx, slowCancel := context.WithCancel(context.Background())
+	defer slowCancel()
+	req, _ := http.NewRequestWithContext(slowCtx, "GET", ts.URL+"/api/events", nil)
+	slowResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowResp.Body.Close()
+	// Read only the hello frame, then stop draining: the subscriber's queue
+	// (2) plus any transport buffer is finite, so publishes overflow it.
+	hello := make([]byte, 64)
+	if _, err := slowResp.Body.Read(hello); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy := subscribe(t, ts.URL+"/api/events")
+	defer healthy.cancel()
+	healthy.next(t, "hello")
+
+	// Publish from the "flush path": must return promptly even though the
+	// slow subscriber never drains. Large frames fill the slow connection's
+	// transport buffers, wedging its writer; the bounded queue (2) then
+	// overflows and the broker drops it instead of blocking.
+	// Each publish must return promptly even though the slow subscriber
+	// never drains: its large frames fill the connection's transport
+	// buffers, wedging its writer; the bounded queue (2) then overflows and
+	// the broker drops it instead of blocking the flush path. The healthy
+	// subscriber is drained between publishes and must see every frame.
+	const frames = 20
+	big := &stream.WindowResult{Instances: make([]stream.WindowInstance, 2000)}
+	for i := 0; i < frames; i++ {
+		big.Index = i
+		start := time.Now()
+		broker.OnWindowFlush(big)
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("publish %d blocked for %v on a slow subscriber", i, d)
+		}
+		healthy.next(t, "window")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "grade10_ui_sse_dropped_total 1") {
+		t.Fatalf("expected one dropped subscriber on /metrics, got:\n%s",
+			grepLines(text, "sse"))
+	}
+	if !strings.Contains(text, "grade10_ui_sse_subscribers") {
+		t.Fatal("subscriber gauge missing from registry")
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,155 @@
+// Package ui is the embedded visual profiler: a zero-dependency browser UI
+// (hand-written HTML/CSS/JS, go:embed-ed — no CDN, no npm) plus the
+// render-ready view-model endpoints it draws from. It mounts under /ui/ and
+// /api/ on the serve and fleet servers (their MountUI), shaping the existing
+// profile, window, trace, and fleet data:
+//
+//	/ui/           embedded assets (ETag/304, Cache-Control)
+//	/api/overview  run header + sorted snapshot summaries (JSON)
+//	/api/heatmap   phase-type tree × machine attribution heatmap (JSON)
+//	/api/timeline  per-machine lanes: phases, blocked intervals, bottlenecks
+//	/api/comms     cross-machine communication matrix estimate (JSON)
+//	/api/events    SSE window-flush stream (single-run mode with a Broker)
+//
+// Every /api endpoint is deterministic: byte-identical JSON at every engine
+// parallelism. In fleet mode the endpoints take ?run=<name> and resolve
+// against the fleet's active engines.
+package ui
+
+import (
+	"net/http"
+
+	"grade10/internal/fleet"
+	"grade10/internal/obs"
+	"grade10/internal/stream"
+)
+
+// Config selects the data sources behind the view models.
+type Config struct {
+	// Engine backs single-run mode; nil in fleet mode.
+	Engine *stream.Engine
+	// Fleet backs fleet mode (?run= resolution); nil in single-run mode.
+	Fleet *fleet.Fleet
+	// Broker, when set, serves the /api/events SSE stream. Wire its
+	// OnWindowFlush into the engine's stream.Config to feed it.
+	Broker *Broker
+}
+
+// Server is the embedded profiler's http.Handler. Mount it with the serve or
+// fleet server's MountUI, passing Routes() so the endpoints join the host's
+// JSON index and HTTP-metrics label space.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	routes []obs.Route
+	assets map[string]asset
+}
+
+// NewServer builds the profiler handler.
+func NewServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), assets: loadAssets()}
+	s.handle("/ui/", "embedded visual profiler (HTML/CSS/JS)", s.handleAssets)
+	s.handle("/api/overview", "profiler overview view model (JSON)", s.handleOverview)
+	s.handle("/api/heatmap", "phase × machine attribution heatmap view model (JSON)", s.handleHeatmap)
+	s.handle("/api/timeline", "per-machine timeline view model (JSON)", s.handleTimeline)
+	s.handle("/api/comms", "cross-machine communication matrix estimate (JSON)", s.handleComms)
+	if cfg.Broker != nil {
+		s.handle("/api/events", "SSE window-flush stream", cfg.Broker.ServeHTTP)
+	}
+	return s
+}
+
+func (s *Server) handle(path, desc string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, h)
+	s.routes = append(s.routes, obs.Route{Path: path, Desc: desc})
+}
+
+// Routes returns the mounted routes for the host server's endpoint index.
+func (s *Server) Routes() []obs.Route { return s.routes }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// resolveEngine picks the engine answering this request: the configured one
+// in single-run mode, the named active run's in fleet mode. It writes the
+// HTTP error itself when resolution fails.
+func (s *Server) resolveEngine(w http.ResponseWriter, r *http.Request) (*stream.Engine, string, bool) {
+	run := r.URL.Query().Get("run")
+	if s.cfg.Engine != nil && run == "" {
+		return s.cfg.Engine, "", true
+	}
+	if s.cfg.Fleet != nil {
+		if run == "" {
+			http.Error(w, "fleet mode: need ?run=<name> (see /fleet/runs)", http.StatusBadRequest)
+			return nil, "", false
+		}
+		e, _, ok := s.cfg.Fleet.EngineFor(run)
+		if !ok {
+			http.Error(w, "run "+run+" is not actively ingesting (finished runs live in the archive; see /fleet/runs and /diff)",
+				http.StatusNotFound)
+			return nil, "", false
+		}
+		return e, run, true
+	}
+	if run != "" {
+		http.Error(w, "?run= is only meaningful in fleet mode", http.StatusBadRequest)
+		return nil, "", false
+	}
+	http.Error(w, "no engine configured", http.StatusServiceUnavailable)
+	return nil, "", false
+}
+
+func (s *Server) mode() string {
+	if s.cfg.Fleet != nil {
+		return "fleet"
+	}
+	return "single"
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	e, run, ok := s.resolveEngine(w, r)
+	if !ok {
+		return
+	}
+	sse := s.cfg.Broker != nil
+	writeJSON(w, buildOverview(e.Snapshot(), s.mode(), run, sse, e.ExplainEnabled()))
+}
+
+// heatCells prefers the exact finalized profile (cells then match /explain
+// derivations) and falls back to the engine's windowed aggregates mid-run.
+func heatCells(e *stream.Engine) ([]stream.HeatCell, string) {
+	if out := e.Final(); out != nil && out.Profile != nil {
+		return heatCellsFromProfile(out.Profile, out.Slices), "final"
+	}
+	return e.HeatCells(), "windows"
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.resolveEngine(w, r)
+	if !ok {
+		return
+	}
+	cells, source := heatCells(e)
+	writeJSON(w, buildHeatmap(cells, source))
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.resolveEngine(w, r)
+	if !ok {
+		return
+	}
+	if out := e.Final(); out != nil && out.Trace != nil {
+		writeJSON(w, buildFinalTimeline(out.Trace, out.Bottlenecks))
+		return
+	}
+	writeJSON(w, buildLiveTimeline(e.Snapshot()))
+}
+
+func (s *Server) handleComms(w http.ResponseWriter, r *http.Request) {
+	e, _, ok := s.resolveEngine(w, r)
+	if !ok {
+		return
+	}
+	cells, source := heatCells(e)
+	writeJSON(w, buildComms(cells, source))
+}
