@@ -26,10 +26,11 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment: fig2, fig3, table2, fig4, fig5, fig6, regress, or all")
 		csvOut    = flag.String("csv", "", "fig3: also write the series CSV to this file")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "experiments", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "experiments", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)

@@ -31,10 +31,11 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generator seed")
 		out         = flag.String("out", "", "output file (default stdout)")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel    = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "gengraph", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "gengraph", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(2)

@@ -14,12 +14,14 @@
 //	grade10 -run run/ -explain 'phase=/pr/execute/superstep/worker/compute/thread machine=0 resource=cpu'
 //	grade10 -run run/ -store profiles/ -run-label baseline
 //	grade10 -store profiles/ -diff runA runB -diff-out delta.json
+//	grade10 -run run/ -store profiles/ -alert-rules alerts.rules   # exit 4 when a rule fires
 //	grade10 -blame runA runA/ runB/   # cross-job blame across co-scheduled runs
 //	grade10 -convert run/ -o run-bin/           # text run dir → binary (auto)
 //	grade10 -convert execution.log -o log.bin -to binary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -28,6 +30,7 @@ import (
 
 	"path/filepath"
 
+	"grade10/internal/alert"
 	"grade10/internal/enginelog"
 	"grade10/internal/explain"
 	"grade10/internal/fleet"
@@ -55,10 +58,14 @@ func main() {
 		format    = flag.String("format", "text", "-explain output format: text or json")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (pipeline self-trace + job profile) to this path")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 
 		storeDir = flag.String("store", "", "profile archive directory: archive this analysis (with -run) or serve -diff")
 		storeMax = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
 		runLabel = flag.String("run-label", "", "free-form label recorded with the archived run")
+
+		alertRulesPath = flag.String("alert-rules", "", "alert rules file: evaluate the finalized profile (baselines learned from -store history, before this run is archived) and exit 4 when any rule fires")
+		alertOut       = flag.String("alert-out", "", "also write the alert snapshot as JSON to this file (needs -alert-rules)")
 
 		convertIn = flag.String("convert", "", "convert an enginelog (or a whole run directory) between the text and binary formats: grade10 -convert INPUT -o OUTPUT [-to text|binary]")
 		convertTo = flag.String("to", "", "-convert target format: text or binary (default: the opposite of the detected input format)")
@@ -73,7 +80,7 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "grade10", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "grade10", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
 		os.Exit(2)
@@ -104,6 +111,26 @@ func main() {
 	}
 	if *runDir == "" {
 		logger.Error("-run is required")
+		os.Exit(2)
+	}
+
+	// Alert rules parse before the (expensive) pipeline so a typo fails fast.
+	var alertRuleSet []alert.Rule
+	if *alertRulesPath != "" {
+		f, ferr := os.Open(*alertRulesPath)
+		if ferr != nil {
+			logger.Error(ferr.Error())
+			os.Exit(2)
+		}
+		alertRuleSet, err = alert.ParseRules(f)
+		f.Close()
+		if err != nil {
+			logger.Error(fmt.Sprintf("%s: %v", *alertRulesPath, err))
+			os.Exit(2)
+		}
+	}
+	if *alertOut != "" && *alertRulesPath == "" {
+		logger.Error("-alert-out needs -alert-rules")
 		os.Exit(2)
 	}
 
@@ -212,10 +239,16 @@ func main() {
 		}
 		logger.Info("wrote trace", "path", *traceOut, "spans", len(tracer.Spans()))
 	}
+	var alertBase *alert.Baselines
 	if *storeDir != "" {
 		store, err := profstore.Open(*storeDir, profstore.Options{MaxRuns: *storeMax})
 		if err != nil {
 			fail(err)
+		}
+		if len(alertRuleSet) > 0 {
+			// Learn before Put: this run must not contribute to the baseline
+			// it is judged against.
+			alertBase = alert.LearnArchive(store)
 		}
 		rec := profstore.BuildRecord(run.Info, out)
 		rec.Label = *runLabel
@@ -227,6 +260,47 @@ func main() {
 		for _, id := range evicted {
 			logger.Info("evicted oldest run", "id", id)
 		}
+	}
+	if len(alertRuleSet) > 0 {
+		runAlerts(alertRuleSet, alertBase, run, out, *runDir, *runLabel, *alertOut)
+	}
+}
+
+// runAlerts evaluates the finalized profile against the rules file: threshold
+// rules see the record's summary metrics (makespan_seconds, stragglers,
+// underutilized_fraction, utilization[key]), baseline-regression rules
+// compare against the archive-learned per-cell robust stats. Exit status 4
+// flags firing alerts, so CI can gate on "this run is anomalous" (2 is usage,
+// 3 is -fail-on-regress).
+func runAlerts(rules []alert.Rule, base *alert.Baselines, run *rundir.Run, out *grade10.Output, runDir, label, jsonOut string) {
+	if base != nil {
+		logger.Info("learned alert baselines", "runs", base.Runs(), "cells", base.Len())
+	}
+	ev := alert.NewEvaluator(rules, base, alert.Config{})
+	rec := profstore.BuildRecord(run.Info, out)
+	rec.Label = label
+	ev.EvalRecord(rec, filepath.Base(filepath.Clean(runDir)))
+	snap := ev.Snapshot()
+	fmt.Println()
+	alert.WriteText(os.Stdout, snap)
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		logger.Info("wrote " + jsonOut)
+	}
+	if snap.Firing > 0 {
+		logger.Error("alerts firing", "firing", snap.Firing)
+		os.Exit(4)
 	}
 }
 

@@ -34,10 +34,11 @@ func main() {
 		timeslice = flag.Duration("timeslice", 0, "fitting granularity (default: the monitoring interval)")
 		out       = flag.String("out", "", "write models JSON with the inferred rules to this file")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "infer", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "infer", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "infer: %v\n", err)
 		os.Exit(2)

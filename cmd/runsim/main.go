@@ -69,10 +69,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the simulator/analysis self-trace as Chrome trace-event JSON to this path")
 		binaryLog = flag.Bool("binary-log", false, "write execution.log in the compact binary enginelog format (consumers auto-detect either format)")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "runsim", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "runsim", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsim: %v\n", err)
 		os.Exit(2)

@@ -18,6 +18,7 @@
 //	curl localhost:7070/report       # final report (503 until the run ends)
 //	curl localhost:7070/explain      # -explain: provenance query ?q=...
 //	curl localhost:7070/healthz      # 503 + reason when ingest goes stale
+//	curl localhost:7070/alerts       # -alert-rules: rules + firing/pending/resolved (JSON)
 //
 // The service is robust to producers in progress: files that do not exist
 // yet, partially written lines, and garbled log content are handled by
@@ -53,6 +54,9 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
+	"grade10/internal/alert"
 	"grade10/internal/fleet"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
@@ -86,6 +90,10 @@ func main() {
 		storeShards = flag.Int("store-shards", 0, "shard the archive index by run-ID prefix into this many shards (0 = single index; existing single-index archives migrate in place)")
 		runLabel    = flag.String("run-label", "", "free-form label recorded with the archived run")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel    = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
+
+		alertRules   = flag.String("alert-rules", "", "alert rules file: threshold rules fire on every window flush, baseline-regression rules on finalized runs (vs the -store archive); serves /alerts")
+		alertWebhook = flag.String("alert-webhook", "", "POST each batch of alert lifecycle transitions to this URL as JSON, with retry/backoff (needs -alert-rules)")
 
 		fleetDir     = flag.String("fleet", "", "fleet mode: watch this directory for run subdirectories and characterize them all (mutually exclusive with -run)")
 		fleetActive  = flag.Int("fleet-active", 8, "fleet mode: max concurrently ingesting runs")
@@ -95,7 +103,7 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "serve", *logFormat)
+	logger, err = obs.NewLogger(os.Stderr, "serve", *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
@@ -104,6 +112,25 @@ func main() {
 		logger.Error("exactly one of -run (single run) or -fleet (watch directory) is required")
 		os.Exit(2)
 	}
+	// Alert rules parse before anything expensive so a typo fails fast with
+	// the rule text and position; the webhook notifier is shared by both
+	// modes and drains its queue on shutdown.
+	var rules []alert.Rule
+	if *alertRules != "" {
+		rules, err = loadAlertRules(*alertRules)
+		if err != nil {
+			logger.Error(err.Error())
+			os.Exit(2)
+		}
+	}
+	if *alertWebhook != "" && len(rules) == 0 {
+		logger.Error("-alert-webhook needs -alert-rules")
+		os.Exit(2)
+	}
+	var notifier *alert.Notifier
+	if *alertWebhook != "" {
+		notifier = alert.NewNotifier(*alertWebhook, alert.NotifierOptions{Logger: logger})
+	}
 	if *fleetDir != "" {
 		runFleet(*fleetDir, *addr, fleetOptions{
 			active: *fleetActive, queue: *fleetQueue, stall: *stallTimeout,
@@ -111,6 +138,7 @@ func main() {
 			window: *window, maxWin: *maxWin, parallel: *parallel,
 			explain: *explainOn, storeDir: *storeDir, storeMax: *storeMax,
 			storeShards: *storeShards, shutdownTO: *shutdownTO, ui: *uiOn,
+			alertRules: rules, notifier: notifier,
 		})
 		return
 	}
@@ -150,11 +178,13 @@ func main() {
 	// may legitimately appear after data starts landing. Log bytes are tailed
 	// raw (not line-split) so both enginelog formats stream transparently.
 	var (
-		engine      *stream.Engine
-		pendingLog  []byte
-		pendingRows []rundir.MonitoringRow
-		liveSrv     *stream.Server
-		runInfo     rundir.Info
+		engine        *stream.Engine
+		pendingLog    []byte
+		pendingRows   []rundir.MonitoringRow
+		liveSrv       *stream.Server
+		runInfo       rundir.Info
+		alertEv       *alert.Evaluator
+		publishAlerts func([]alert.Event)
 	)
 	// The SSE broker exists before the engine: buildEngine wires its
 	// OnWindowFlush hook into the stream config so every flushed window
@@ -167,11 +197,39 @@ func main() {
 		Info: func(info rundir.Info) {
 			runInfo = info
 			tracer := obs.NewTracer()
+			// The archive opens before the engine so baseline-regression
+			// rules can learn per-cell robust stats from prior runs of the
+			// same job — before this run's own record is archived.
+			var store profstore.Archive
+			if *storeDir != "" {
+				st, err := openArchive(*storeDir, *storeMax, *storeShards)
+				if err != nil {
+					fail(err)
+				}
+				store = st
+			}
+			if len(rules) > 0 {
+				var base *alert.Baselines
+				if store != nil {
+					base = alert.LearnArchive(store)
+					logger.Info("learned alert baselines",
+						"runs", base.Runs(), "cells", base.Len())
+				}
+				alertEv = alert.NewEvaluator(rules, base, alert.Config{})
+				publishAlerts = func(evs []alert.Event) {
+					if broker != nil {
+						broker.PublishAlerts(evs)
+					}
+					if notifier != nil {
+						notifier.Notify(evs)
+					}
+				}
+			}
 			var onFlush func(*stream.WindowResult)
 			if broker != nil {
 				onFlush = broker.OnWindowFlush
 			}
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer, onFlush)
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer, onFlush, alertEv, publishAlerts)
 			if err != nil {
 				fail(err)
 			}
@@ -188,11 +246,7 @@ func main() {
 				srv.EnablePprof()
 			}
 			srv.SetStaleThreshold(*stale)
-			if *storeDir != "" {
-				store, err := openArchive(*storeDir, *storeMax, *storeShards)
-				if err != nil {
-					fail(err)
-				}
+			if store != nil {
 				srv.SetStore(store, profdiff.Config{})
 			}
 			// The registry feeds /metrics with the tracer bridge (per-stage
@@ -203,9 +257,12 @@ func main() {
 			obs.BridgeTracer(reg, tracer)
 			srv.RegisterEngineMetrics(reg)
 			srv.RegisterStoreMetrics(reg)
+			if alertEv != nil {
+				srv.SetAlerts(alertEv, alert.RegisterMetrics(reg, alertEv))
+			}
 			if broker != nil {
 				broker.RegisterMetrics(reg)
-				uis := ui.NewServer(ui.Config{Engine: engine, Broker: broker})
+				uis := ui.NewServer(ui.Config{Engine: engine, Broker: broker, Alerts: alertEv})
 				srv.MountUI(uis, uis.Routes())
 			}
 			srv.SetRegistry(reg)
@@ -265,6 +322,23 @@ func main() {
 			logger.Info("archived run", "id", meta.ID, "evicted", len(evicted))
 		}
 	}
+	// Baseline-regression rules only see finalized records: evaluate the
+	// completed run against the archive-learned baselines (a clean run here
+	// resolves alerts a noisy earlier run left firing).
+	if alertEv != nil && out != nil {
+		rec := profstore.BuildRecord(runInfo, out)
+		rec.Label = *runLabel
+		evs := alertEv.EvalRecord(rec, filepath.Base(filepath.Clean(*runDir)))
+		for _, tr := range evs {
+			logger.Info("alert transition", "rule", tr.Rule, "from", tr.From, "to", tr.To)
+		}
+		if len(evs) > 0 && publishAlerts != nil {
+			publishAlerts(evs)
+		}
+		if n := alertEv.FiringCount(); n > 0 {
+			logger.Warn("alerts firing at run end", "firing", n)
+		}
+	}
 
 	// Graceful shutdown: the finalize above already drained every in-flight
 	// window flush (Follow returns before Finalize runs), so all that is
@@ -273,6 +347,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	if notifier != nil {
+		notifier.Close()
+	}
 }
 
 // openArchive opens the profile archive in single-index or sharded layout.
@@ -284,6 +361,20 @@ func openArchive(dir string, maxRuns, shards int) (profstore.Archive, error) {
 		})
 	}
 	return profstore.Open(dir, profstore.Options{MaxRuns: maxRuns})
+}
+
+// loadAlertRules parses the -alert-rules file.
+func loadAlertRules(path string) ([]alert.Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rules, err := alert.ParseRules(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rules, nil
 }
 
 // fleetOptions carries the fleet-mode flag values.
@@ -298,6 +389,8 @@ type fleetOptions struct {
 	storeMax, storeShards int
 	shutdownTO            time.Duration
 	ui                    bool
+	alertRules            []alert.Rule
+	notifier              *alert.Notifier
 }
 
 // runFleet is fleet mode: many concurrent runs behind the admission
@@ -325,16 +418,48 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 		}
 		cfg.Archive = store
 	}
+	// Fleet SSE carries only alert frames (window frames are single-run);
+	// the broker still feeds the UI banner's live refresh.
+	var broker *ui.Broker
+	if opt.ui {
+		broker = ui.NewBroker(0)
+	}
+	var alertEv *alert.Evaluator
+	if len(opt.alertRules) > 0 {
+		var base *alert.Baselines
+		if cfg.Archive != nil {
+			base = alert.LearnArchive(cfg.Archive)
+			logger.Info("learned alert baselines",
+				"runs", base.Runs(), "cells", base.Len())
+		}
+		alertEv = alert.NewEvaluator(opt.alertRules, base, alert.Config{})
+		cfg.Alerts = alertEv
+		cfg.OnAlert = func(evs []alert.Event) {
+			if broker != nil {
+				broker.PublishAlerts(evs)
+			}
+			if opt.notifier != nil {
+				opt.notifier.Notify(evs)
+			}
+		}
+	}
 	fl := fleet.New(cfg)
 	srv := fleet.NewServer(fl)
 	// Fleet UI: run picker over /fleet/runs, per-run view models via
-	// /api/*?run=, archive diffs via /diff. SSE is single-run only.
+	// /api/*?run=, archive diffs via /diff, alert banner via /api/alerts
+	// with SSE alert frames on /api/events.
 	if opt.ui {
-		uis := ui.NewServer(ui.Config{Fleet: fl})
+		uis := ui.NewServer(ui.Config{Fleet: fl, Broker: broker, Alerts: alertEv})
 		srv.MountUI(uis, uis.Routes())
 	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
+	if broker != nil {
+		broker.RegisterMetrics(reg)
+	}
+	if alertEv != nil {
+		srv.SetAlerts(alertEv, alert.RegisterMetrics(reg, alertEv))
+	}
 	srv.RegisterMetrics(reg)
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
@@ -366,12 +491,15 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 		logger.Warn(err.Error())
 	}
 	_ = httpSrv.Shutdown(ctx)
+	if opt.notifier != nil {
+		opt.notifier.Close()
+	}
 }
 
 // buildEngine resolves the run's models through the same entry point as the
 // batch CLI and sizes the streaming engine from the run metadata. The tracer
 // self-traces window flushes and the final batch pipeline, feeding /trace.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer, onFlush func(*stream.WindowResult)) (*stream.Engine, error) {
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer, onFlush func(*stream.WindowResult), alerts *alert.Evaluator, onAlert func([]alert.Event)) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -396,6 +524,8 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		Tracer:            tracer,
 		Explain:           explainOn,
 		OnWindowFlush:     onFlush,
+		Alerts:            alerts,
+		OnAlert:           onAlert,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)

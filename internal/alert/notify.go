@@ -1,0 +1,167 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NotifierOptions tunes the webhook notifier. The clock and sleeper are
+// injectable so the retry/backoff schedule is testable without waiting.
+type NotifierOptions struct {
+	// Client posts the payloads; nil takes a 10s-timeout http.Client.
+	Client *http.Client
+	// MaxAttempts bounds delivery attempts per batch (default 4).
+	MaxAttempts int
+	// Backoff is the first retry delay, doubling per attempt (default 500ms).
+	Backoff time.Duration
+	// QueueDepth bounds pending batches; overflow is dropped and counted
+	// (default 64).
+	QueueDepth int
+	// Now stamps payloads; Sleep waits between attempts. Defaults: time.Now,
+	// time.Sleep.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+	// Logger reports delivery failures; nil discards.
+	Logger *slog.Logger
+}
+
+// NotifierStats counts the notifier's lifetime deliveries.
+type NotifierStats struct {
+	Sent    int64 `json:"sent"`
+	Failed  int64 `json:"failed"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Notifier delivers alert transition batches to a webhook URL as JSON, with
+// bounded retry and exponential backoff. Notify never blocks the caller: the
+// alert path runs under the engine lock, so delivery happens on a background
+// goroutine and overflow is shed, not waited on.
+type Notifier struct {
+	url  string
+	opts NotifierOptions
+
+	ch   chan []Event
+	done chan struct{}
+
+	mu    sync.Mutex
+	stats NotifierStats
+}
+
+// webhookPayload is the POST body: one batch of lifecycle transitions.
+type webhookPayload struct {
+	Version string  `json:"version"`
+	SentAt  string  `json:"sent_at"`
+	Alerts  []Event `json:"alerts"`
+}
+
+// NewNotifier starts a notifier delivering to url.
+func NewNotifier(url string, opts NotifierOptions) *Notifier {
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 500 * time.Millisecond
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	n := &Notifier{
+		url:  url,
+		opts: opts,
+		ch:   make(chan []Event, opts.QueueDepth),
+		done: make(chan struct{}),
+	}
+	go n.run()
+	return n
+}
+
+// Notify enqueues one transition batch; a full queue drops it (counted).
+func (n *Notifier) Notify(events []Event) {
+	if n == nil || len(events) == 0 {
+		return
+	}
+	select {
+	case n.ch <- events:
+	default:
+		n.mu.Lock()
+		n.stats.Dropped++
+		n.mu.Unlock()
+	}
+}
+
+// Close stops the notifier after delivering everything already queued.
+func (n *Notifier) Close() {
+	if n == nil {
+		return
+	}
+	close(n.ch)
+	<-n.done
+}
+
+// Stats returns the delivery counters.
+func (n *Notifier) Stats() NotifierStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Notifier) run() {
+	defer close(n.done)
+	for batch := range n.ch {
+		if n.deliver(batch) {
+			n.mu.Lock()
+			n.stats.Sent++
+			n.mu.Unlock()
+		} else {
+			n.mu.Lock()
+			n.stats.Failed++
+			n.mu.Unlock()
+			if n.opts.Logger != nil {
+				n.opts.Logger.Warn("alert webhook delivery failed",
+					"url", n.url, "events", len(batch), "attempts", n.opts.MaxAttempts)
+			}
+		}
+	}
+}
+
+// deliver posts one batch, retrying with exponential backoff. Any 2xx
+// response is success.
+func (n *Notifier) deliver(batch []Event) bool {
+	payload, err := json.Marshal(webhookPayload{
+		Version: "1",
+		SentAt:  n.opts.Now().UTC().Format(time.RFC3339Nano),
+		Alerts:  batch,
+	})
+	if err != nil {
+		return false
+	}
+	delay := n.opts.Backoff
+	for attempt := 0; attempt < n.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			n.opts.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := n.opts.Client.Post(n.url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package alert
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNotifierRetryBackoff: delivery retries failed posts on an exponential
+// schedule read from the injected fake clock/sleeper, then succeeds.
+func TestNotifierRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	var bodies [][]byte
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, body)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	fakeNow := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	n := NewNotifier(srv.URL, NotifierOptions{
+		Backoff:     100 * time.Millisecond,
+		MaxAttempts: 4,
+		Now:         func() time.Time { return fakeNow },
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	n.Notify([]Event{{Rule: "hot", From: StatePending, To: StateFiring, Severity: SeverityCritical}})
+	n.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two failures, one success)", attempts)
+	}
+	if len(slept) != 2 || slept[0] != 100*time.Millisecond || slept[1] != 200*time.Millisecond {
+		t.Fatalf("backoff schedule = %v, want [100ms 200ms]", slept)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Failed != 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want sent=1", st)
+	}
+
+	var payload webhookPayload
+	if err := json.Unmarshal(bodies[0], &payload); err != nil {
+		t.Fatalf("payload: %v\n%s", err, bodies[0])
+	}
+	if payload.Version != "1" || payload.SentAt != "2026-08-08T12:00:00Z" {
+		t.Errorf("payload header = %+v", payload)
+	}
+	if len(payload.Alerts) != 1 || payload.Alerts[0].Rule != "hot" || payload.Alerts[0].To != StateFiring {
+		t.Errorf("payload alerts = %+v", payload.Alerts)
+	}
+}
+
+// TestNotifierGivesUp: a webhook that never succeeds consumes exactly
+// MaxAttempts tries and counts one failure.
+func TestNotifierGivesUp(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	n := NewNotifier(srv.URL, NotifierOptions{
+		Backoff:     time.Millisecond,
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	n.Notify([]Event{{Rule: "x"}})
+	n.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if st := n.Stats(); st.Failed != 1 || st.Sent != 0 {
+		t.Fatalf("stats = %+v, want failed=1", st)
+	}
+}
+
+// TestNotifierQueueOverflow: a stuffed queue sheds batches without blocking.
+func TestNotifierQueueOverflow(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+
+	n := NewNotifier(srv.URL, NotifierOptions{QueueDepth: 1, MaxAttempts: 1, Sleep: func(time.Duration) {}})
+	// One in flight, one queued, the rest shed.
+	for i := 0; i < 5; i++ {
+		n.Notify([]Event{{Rule: "x", Tick: i}})
+	}
+	close(release)
+	n.Close()
+	if st := n.Stats(); st.Dropped < 2 {
+		t.Fatalf("stats = %+v, want at least 2 dropped", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"grade10/internal/alert"
 	"grade10/internal/grade10"
 	"grade10/internal/profdiff"
 	"grade10/internal/profstore"
@@ -63,6 +64,14 @@ type Config struct {
 	// BlameSlice is the cross-job blame grid width; default the analysis
 	// timeslice default.
 	BlameSlice vtime.Duration
+	// Alerts, when set, is evaluated against every finalized run's record
+	// (after archiving): baseline-regression rules compare the fresh record
+	// to the archive-learned statistics, and a later clean run resolves what
+	// a noisy one fired. The evaluator is internally synchronized.
+	Alerts *alert.Evaluator
+	// OnAlert, when set, receives the transitions each record evaluation
+	// produced (only called when there are any), off the fleet lock.
+	OnAlert func([]alert.Event)
 	// Now is the wall clock; injectable for tests.
 	Now func() time.Time
 	// Logger receives per-run lifecycle diagnostics; default discards.
@@ -339,6 +348,17 @@ func (f *Fleet) finishRun(rs *runState, followErr error) {
 		archiveID = meta.ID
 		if len(evicted) > 0 {
 			f.cfg.Logger.Info("fleet archive evicted runs", "count", len(evicted))
+		}
+	}
+	if f.cfg.Alerts != nil {
+		if evs := f.cfg.Alerts.EvalRecord(rec, rs.name); len(evs) > 0 {
+			for _, ev := range evs {
+				f.cfg.Logger.Info("fleet alert transition", "run", rs.name,
+					"rule", ev.Rule, "from", ev.From, "to", ev.To)
+			}
+			if f.cfg.OnAlert != nil {
+				f.cfg.OnAlert(evs)
+			}
 		}
 	}
 	blame := BuildBlameProfile(rs.name, rs.info, out, f.cfg.BlameSlice)

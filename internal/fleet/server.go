@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"grade10/internal/alert"
 	"grade10/internal/obs"
 	"grade10/internal/profdiff"
 )
@@ -30,6 +31,11 @@ type Server struct {
 	httpm     *obs.HTTPMetrics
 	staleness *obs.GaugeVec
 	staleSeen map[string]bool
+
+	// alerts, when set via SetAlerts, serves the alert lifecycle on /alerts
+	// and refreshes the ALERTS series on every /metrics scrape.
+	alerts *alert.Evaluator
+	alertm *alert.Metrics
 }
 
 // NewServer wires the fleet behind its HTTP API.
@@ -41,9 +47,7 @@ func NewServer(f *Fleet) *Server {
 	s.handle("/fleet/blame", "cross-job blame report (?run=)", s.handleBlame)
 	s.handle("/diff", "structural diff of two archived runs ?a=&b= (JSON; &format=text)", s.handleDiff)
 	s.handle("/metrics", "Prometheus text exposition", s.handleMetrics)
-	s.handle("/healthz", "liveness", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.handle("/healthz", "liveness; 503 + degraded reasons (JSON) when runs stalled/failed or load shed", s.handleHealthz)
 	s.handle("/", "this endpoint index (JSON)", s.handleIndex)
 	return s
 }
@@ -81,10 +85,66 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	routes := make([]obs.Route, len(s.routes))
 	copy(routes, s.routes)
 	sort.Slice(routes, func(i, j int) bool { return routes[i].Path < routes[j].Path })
+	ver, gover := obs.BuildInfo()
 	writeJSON(w, struct {
 		Service   string      `json:"service"`
+		Version   string      `json:"version"`
+		GoVersion string      `json:"go_version"`
 		Endpoints []obs.Route `json:"endpoints"`
-	}{"grade10 fleet characterization", routes})
+	}{"grade10 fleet characterization", ver, gover, routes})
+}
+
+// SetAlerts attaches the alerting evaluator: GET /alerts serves the rule
+// table, live instances, and transition history, and (when metrics are
+// registered) every /metrics scrape refreshes the ALERTS series first. Call
+// before serving traffic.
+func (s *Server) SetAlerts(ev *alert.Evaluator, m *alert.Metrics) {
+	s.alerts = ev
+	s.alertm = m
+	s.handle("/alerts", "alert rules, firing/pending/resolved instances, and history (JSON)", s.handleAlerts)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.alerts.Snapshot())
+}
+
+// HealthView is the /healthz body: overall status plus every reason the
+// fleet currently counts as degraded, one line per ailing run.
+type HealthView struct {
+	Status  string   `json:"status"` // "ok" or "degraded"
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health enumerates the fleet's degraded conditions: stalled runs (metadata
+// never appeared), failed runs (ingest or finalize errored), and lifetime
+// load sheds. An empty reason list is a healthy fleet.
+func (s *Server) Health() HealthView {
+	snap := s.fleet.Snapshot()
+	var reasons []string
+	for _, run := range snap.Runs {
+		switch run.Status {
+		case StatusStalled:
+			reasons = append(reasons, fmt.Sprintf("run %s stalled: %s", run.Name, run.Error))
+		case StatusFailed:
+			reasons = append(reasons, fmt.Sprintf("run %s failed: %s", run.Name, run.Error))
+		}
+	}
+	if snap.ShedTotal > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d registration(s) shed at capacity", snap.ShedTotal))
+	}
+	if len(reasons) > 0 {
+		return HealthView{Status: "degraded", Reasons: reasons}
+	}
+	return HealthView{Status: "ok"}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSONBody(w, h)
 }
 
 // RegisterMetrics exposes the fleet's backpressure counters and the per-run
@@ -93,6 +153,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	s.reg = reg
 	s.httpm = obs.NewHTTPMetrics(reg)
+	obs.RegisterBuildInfo(reg)
 	reg.GaugeFunc("grade10_fleet_runs_active",
 		"Runs currently ingesting (bounded by the admission scheduler).",
 		func() float64 { a, _, _ := s.fleet.Counts(); return float64(a) })
@@ -132,6 +193,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.refreshStaleness()
+	if s.alertm != nil {
+		s.alertm.Refresh()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WriteText(w)
 }

@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// Version identifies this build. Overridable at link time:
+//
+//	go build -ldflags "-X grade10/internal/obs.Version=v1.2.3"
+var Version = "0.1.0-dev"
+
+// BuildInfo returns the build's version string and the Go toolchain version
+// it was compiled with.
+func BuildInfo() (version, goVersion string) {
+	return Version, runtime.Version()
+}
+
+// RegisterBuildInfo exposes the conventional build-identity gauge
+// grade10_build_info{version,go_version} = 1 on the registry.
+func RegisterBuildInfo(r *Registry) {
+	v, gv := BuildInfo()
+	r.GaugeVec("grade10_build_info", "Build identity; the value is always 1.",
+		"version", "go_version").With(v, gv).Set(1)
+}

@@ -10,19 +10,41 @@ import (
 )
 
 // NewLogger builds the slog.Logger shared by the cmd/* binaries, selected by
-// the -log-format flag. Format "text" emits one "<cmd>: msg key=value ..."
-// line per record — the same "<cmd>: " diagnostic prefix the commands have
-// always used, so output filtering on that prefix keeps working. Format
-// "json" emits standard slog JSON records with a fixed cmd attribute.
-func NewLogger(w io.Writer, cmd, format string) (*slog.Logger, error) {
+// the -log-format and -log-level flags. Format "text" emits one
+// "<cmd>: msg key=value ..." line per record — the same "<cmd>: " diagnostic
+// prefix the commands have always used, so output filtering on that prefix
+// keeps working. Format "json" emits standard slog JSON records with a fixed
+// cmd attribute. Level is debug, info (the default), warn, or error; records
+// below it are suppressed.
+func NewLogger(w io.Writer, cmd, format, level string) (*slog.Logger, error) {
+	min, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
 	switch format {
 	case "", "text":
-		return slog.New(&prefixHandler{w: w, mu: &sync.Mutex{}, prefix: cmd}), nil
+		return slog.New(&prefixHandler{w: w, mu: &sync.Mutex{}, prefix: cmd, min: min}), nil
 	case "json":
-		h := slog.NewJSONHandler(w, nil)
+		h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: min})
 		return slog.New(h).With("cmd", cmd), nil
 	default:
 		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLogLevel maps a -log-level flag value to its slog.Level; "" is info.
+func ParseLogLevel(level string) (slog.Level, error) {
+	switch level {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
 	}
 }
 
@@ -33,11 +55,12 @@ type prefixHandler struct {
 	w      io.Writer
 	mu     *sync.Mutex
 	prefix string
+	min    slog.Level
 	attrs  []slog.Attr
 }
 
 func (h *prefixHandler) Enabled(_ context.Context, level slog.Level) bool {
-	return level >= slog.LevelInfo
+	return level >= h.min
 }
 
 func (h *prefixHandler) Handle(_ context.Context, r slog.Record) error {

@@ -225,7 +225,7 @@ func TestTraceBuilderValidateCatchesErrors(t *testing.T) {
 
 func TestNewLoggerTextKeepsPrefix(t *testing.T) {
 	var buf bytes.Buffer
-	lg, err := NewLogger(&buf, "grade10", "text")
+	lg, err := NewLogger(&buf, "grade10", "text", "info")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestNewLoggerTextKeepsPrefix(t *testing.T) {
 
 func TestNewLoggerJSON(t *testing.T) {
 	var buf bytes.Buffer
-	lg, err := NewLogger(&buf, "serve", "json")
+	lg, err := NewLogger(&buf, "serve", "json", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,51 @@ func TestNewLoggerJSON(t *testing.T) {
 	if rec["msg"] != "listening" || rec["cmd"] != "serve" || rec["addr"] != ":8080" {
 		t.Errorf("unexpected record: %v", rec)
 	}
-	if _, err := NewLogger(&buf, "serve", "yaml"); err == nil {
+	if _, err := NewLogger(&buf, "serve", "yaml", "info"); err == nil {
 		t.Error("bad format accepted")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "serve", "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("noise")
+	lg.Info("quiet")
+	lg.Warn("kept")
+	if got := strings.TrimSpace(buf.String()); got != "serve: WARN kept" {
+		t.Errorf("warn-level output = %q", got)
+	}
+	buf.Reset()
+	lg, err = NewLogger(&buf, "serve", "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("verbose", "k", 1)
+	if got := strings.TrimSpace(buf.String()); got != "serve: DEBUG verbose k=1" {
+		t.Errorf("debug-level output = %q", got)
+	}
+	if _, err := NewLogger(&buf, "serve", "text", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	ver, gover := BuildInfo()
+	if ver == "" || !strings.HasPrefix(gover, "go") {
+		t.Fatalf("BuildInfo() = (%q, %q)", ver, gover)
+	}
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterBuildInfo(reg) // registration is fetch-or-create: idempotent
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `grade10_build_info{version="` + ver + `",go_version="` + gover + `"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, buf.String())
 	}
 }

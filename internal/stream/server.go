@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"grade10/internal/alert"
 	"grade10/internal/explain"
 	"grade10/internal/obs"
 	"grade10/internal/report"
@@ -48,6 +49,10 @@ type Server struct {
 	// store, when set via SetStore, serves the profile archive endpoints
 	// (/runs, /runs/{id}, /diff) and the watchdog gauges.
 	store *storeState
+	// alerts, when set via SetAlerts, serves the alert lifecycle on /alerts
+	// and refreshes the ALERTS series on every /metrics scrape.
+	alerts *alert.Evaluator
+	alertm *alert.Metrics
 
 	mu         sync.Mutex
 	reportText []byte // cached render of the exact final report
@@ -98,6 +103,21 @@ func (s *Server) SetStaleThreshold(d time.Duration) { s.staleAfter = d }
 func (s *Server) SetRegistry(r *obs.Registry) {
 	s.registry = r
 	s.httpm = obs.NewHTTPMetrics(r)
+	obs.RegisterBuildInfo(r)
+}
+
+// SetAlerts attaches the alerting evaluator: GET /alerts serves the rule
+// table, live instances, and transition history, and (when metrics are
+// registered) every /metrics scrape refreshes the ALERTS series first. Call
+// before serving traffic.
+func (s *Server) SetAlerts(ev *alert.Evaluator, m *alert.Metrics) {
+	s.alerts = ev
+	s.alertm = m
+	s.handle("/alerts", "alert rules, firing/pending/resolved instances, and history (JSON)", s.handleAlerts)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.alerts.Snapshot())
 }
 
 // Degraded reports whether the server currently considers ingest stale, and
@@ -175,10 +195,13 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	routes := make([]obs.Route, len(s.routes))
 	copy(routes, s.routes)
 	sort.Slice(routes, func(i, j int) bool { return routes[i].Path < routes[j].Path })
+	ver, gover := obs.BuildInfo()
 	writeJSON(w, struct {
 		Service   string      `json:"service"`
+		Version   string      `json:"version"`
+		GoVersion string      `json:"go_version"`
 		Endpoints []obs.Route `json:"endpoints"`
-	}{"grade10 live characterization", routes})
+	}{"grade10 live characterization", ver, gover, routes})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
@@ -438,7 +461,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	// Registry-fed families (self-trace stage metrics, runtime gauges,
-	// staleness) append after the hand-rolled snapshot families.
+	// staleness) append after the hand-rolled snapshot families. The ALERTS
+	// series are rebuilt from the evaluator first so every scrape sees the
+	// current lifecycle.
+	if s.alertm != nil {
+		s.alertm.Refresh()
+	}
 	if s.registry != nil {
 		_ = s.registry.WriteText(p.w)
 	}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"grade10/internal/alert"
 	"grade10/internal/attribution"
 	"grade10/internal/bottleneck"
 	"grade10/internal/cluster"
@@ -95,6 +96,16 @@ type Config struct {
 	// hand the result to a channel or a non-blocking broker and return.
 	// This is the live UI's SSE feed.
 	OnWindowFlush func(*WindowResult)
+	// Alerts, when set, is evaluated after every window flush against an
+	// observation built from the flushed window and the engine counters.
+	// Evaluation order is deterministic, so results are identical at every
+	// Parallelism.
+	Alerts *alert.Evaluator
+	// OnAlert, when set, receives the state transitions each window
+	// evaluation produced (only called when there are any). Like
+	// OnWindowFlush it runs with the engine lock held: hand the events to a
+	// non-blocking sink and return.
+	OnAlert func([]alert.Event)
 	// Now is the wall clock used for ingest staleness tracking; nil takes
 	// time.Now. Injectable for tests.
 	Now func() time.Time
@@ -693,6 +704,11 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 	if e.cfg.OnWindowFlush != nil {
 		e.cfg.OnWindowFlush(wr)
 	}
+	if e.cfg.Alerts != nil {
+		if evs := e.cfg.Alerts.Eval(e.windowObsLocked(wr, w1)); len(evs) > 0 && e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(evs)
+		}
+	}
 	if rec != nil {
 		ex := explain.NewExplainer(prof, rec)
 		if e.cfg.Bottleneck.SaturationThreshold > 0 {
@@ -704,6 +720,57 @@ func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
 		}
 	}
 	span.End()
+}
+
+// windowObsLocked builds the alert observation for one flushed window: the
+// window's coverage and per-instance figures plus the engine's cumulative
+// robustness counters. Everything here derives from virtual time and
+// deterministic fold state — never the wall clock — so alert evaluation is
+// bit-identical at every Parallelism.
+func (e *Engine) windowObsLocked(wr *WindowResult, w1 vtime.Time) alert.Obs {
+	st := e.statsLocked()
+	scalars := map[string]float64{
+		"coverage":        wr.Coverage,
+		"parse_errors":    float64(st.ParseErrors),
+		"truncated_lines": float64(st.Truncated),
+		"invalid_events":  float64(st.InvalidEvents),
+		"late_events":     float64(st.LateEvents),
+		"dropped_events":  float64(st.DroppedEvents),
+		"invalid_samples": float64(st.InvalidSamples),
+		"gaps_filled":     float64(st.GapsFilled),
+		"ignored_samples": float64(st.IgnoredSamples),
+		"forced_closures": float64(st.ForcedClosures),
+		"events":          float64(st.Events),
+		"samples":         float64(st.Samples),
+		"windows_flushed": float64(st.WindowsFlushed),
+		"open_phases":     float64(len(e.open)),
+	}
+	lag := 0.0
+	if e.watermark > w1 {
+		lag = e.watermark.Sub(w1).Seconds()
+	}
+	scalars["lag_seconds"] = lag
+
+	util := make(map[string]float64, len(wr.Instances))
+	sat := make(map[string]float64, len(wr.Instances))
+	for _, wi := range wr.Instances {
+		util[wi.Key] = wi.Utilization
+		sat[wi.Key] = float64(wi.SaturatedSlices)
+	}
+	btl := map[string]float64{}
+	for _, b := range wr.Bottlenecks {
+		btl[b.Resource] += b.Seconds
+	}
+	return alert.Obs{
+		Tick:    wr.Index,
+		TimeNS:  int64(w1),
+		Scalars: scalars,
+		Keyed: map[string]map[string]float64{
+			"utilization":        util,
+			"saturated_slices":   sat,
+			"bottleneck_seconds": btl,
+		},
+	}
 }
 
 // windowExplainer pairs one flushed window with its provenance explainer.

@@ -10,6 +10,7 @@ const state = {
   overview: null,
   es: null,          // EventSource
   refreshTimer: 0,
+  alerts: false,     // /api/alerts mounted (server started with -alert-rules)
 };
 
 function apiURL(path) {
@@ -237,6 +238,48 @@ function renderComms(cm) {
   root.append(table);
 }
 
+// ---------- alert banner ----------
+
+// renderAlerts paints the banner from the /api/alerts lifecycle snapshot:
+// firing first (red), then pending (amber), then recently resolved (dim).
+// Each chip click-throughs to the explain query evidencing the alert.
+function renderAlerts(snap) {
+  const banner = $("alert-banner");
+  const insts = (snap.instances || []);
+  if (!insts.length) { banner.className = "hidden"; banner.innerHTML = ""; return; }
+  banner.innerHTML = "";
+  banner.className = "alert-banner" + (snap.firing ? " has-firing" : "");
+  const head = el("span", "alert-head",
+    snap.firing ? snap.firing + " firing" : (snap.pending ? snap.pending + " pending" : "resolved"));
+  banner.append(head);
+  for (const a of insts.slice(0, 8)) {
+    const chip = el("span", "alert-chip " + a.state, a.rule);
+    chip.append(el("small", "", " " + a.severity +
+      (a.run ? " · " + a.run : "") +
+      " · " + fmt(a.value, 2) + " vs " + fmt(a.threshold, 2)));
+    chip.title = a.expr + (a.explain_query ? "\nclick: explain " + a.explain_query : "");
+    if (a.explain_query) chip.onclick = () => explain(a.explain_query);
+    banner.append(chip);
+  }
+  if (insts.length > 8) banner.append(el("span", "hint", "+" + (insts.length - 8) + " more"));
+}
+
+async function refreshAlerts() {
+  if (!state.alerts) return;
+  try {
+    renderAlerts(await getJSON("/api/alerts"));
+  } catch { /* transient: keep the last banner */ }
+}
+
+async function setupAlerts() {
+  // /api/alerts only exists when the server was started with -alert-rules.
+  try {
+    const snap = await getJSON("/api/alerts");
+    state.alerts = true;
+    renderAlerts(snap);
+  } catch { state.alerts = false; }
+}
+
 // ---------- explain click-through ----------
 
 async function explain(query) {
@@ -326,6 +369,7 @@ function connectSSE() {
   // Coalesce: window flushes can be rapid; re-render at most every 500ms.
   es.addEventListener("window", () => scheduleRefresh(500));
   es.addEventListener("final", () => scheduleRefresh(100));
+  es.addEventListener("alert", () => refreshAlerts());
   es.onerror = () => { es.close(); state.es = null; };
 }
 
@@ -354,11 +398,13 @@ async function main() {
   await setupFleet();
   const ov = await refreshAll();
   await setupDiff();
+  await setupAlerts();
   if (ov && ov.sse && !ov.finalized) connectSSE();
   if (ov && !ov.finalized && (!ov.sse || state.mode === "fleet")) {
     // No push channel: poll until the run settles.
     const tick = async () => {
       const cur = await refreshAll();
+      await refreshAlerts();
       if (!cur || !cur.finalized) state.refreshTimer = setTimeout(tick, 2000);
     };
     state.refreshTimer = setTimeout(tick, 2000);

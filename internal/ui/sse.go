@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sync"
 
+	"grade10/internal/alert"
 	"grade10/internal/obs"
 	"grade10/internal/stream"
 )
@@ -65,6 +66,21 @@ func (b *Broker) OnWindowFlush(wr *stream.WindowResult) {
 		return
 	}
 	b.publish(frame("window", data))
+}
+
+// PublishAlerts is the alerting hook (stream.Config.OnAlert / fleet
+// Config.OnAlert): each batch of lifecycle transitions becomes one
+// `event: alert` frame carrying the events as a JSON array. Non-blocking,
+// like every publish — it runs on the flush path.
+func (b *Broker) PublishAlerts(events []alert.Event) {
+	if len(events) == 0 {
+		return
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		return
+	}
+	b.publish(frame("alert", data))
 }
 
 // frame renders one SSE frame. Data must be a single line (compact JSON).

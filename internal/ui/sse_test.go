@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"grade10/internal/alert"
 	"grade10/internal/obs"
 	"grade10/internal/stream"
 	"grade10/internal/ui"
@@ -113,6 +115,59 @@ func TestSSEWindowFrames(t *testing.T) {
 	case fr := <-a.frames:
 		t.Fatalf("unexpected extra frame %v", fr)
 	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestSSEAlertFrames: alert lifecycle transitions publish as `event: alert`
+// frames carrying the event batch as a JSON array, and /api/alerts serves
+// the evaluator's snapshot for banner catch-up.
+func TestSSEAlertFrames(t *testing.T) {
+	broker := ui.NewBroker(0)
+	rules, err := alert.ParseRules(strings.NewReader("alert hot severity critical when coverage < 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := alert.NewEvaluator(rules, nil, alert.Config{})
+	s := ui.NewServer(ui.Config{Broker: broker, Alerts: ev})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	c := subscribe(t, ts.URL+"/api/events")
+	defer c.cancel()
+	c.next(t, "hello")
+
+	// Empty batches are not published.
+	broker.PublishAlerts(nil)
+	evs := ev.Eval(alert.Obs{Tick: 1, Scalars: map[string]float64{"coverage": 0.2}})
+	if len(evs) != 1 {
+		t.Fatalf("transitions = %+v, want one firing", evs)
+	}
+	broker.PublishAlerts(evs)
+
+	data := c.next(t, "alert")
+	if strings.Contains(data, "\n") {
+		t.Fatal("alert frame data not single-line")
+	}
+	var got []alert.Event
+	if err := json.Unmarshal([]byte(data), &got); err != nil {
+		t.Fatalf("alert frame not JSON: %v\n%s", err, data)
+	}
+	if len(got) != 1 || got[0].Rule != "hot" || got[0].To != alert.StateFiring {
+		t.Fatalf("alert frame = %+v", got)
+	}
+
+	// Banner catch-up endpoint serves the same lifecycle.
+	resp, err := http.Get(ts.URL + "/api/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap alert.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Firing != 1 || len(snap.Instances) != 1 {
+		t.Fatalf("/api/alerts = %+v", snap)
 	}
 }
 

@@ -19,6 +19,7 @@ package ui
 import (
 	"net/http"
 
+	"grade10/internal/alert"
 	"grade10/internal/fleet"
 	"grade10/internal/obs"
 	"grade10/internal/stream"
@@ -31,8 +32,12 @@ type Config struct {
 	// Fleet backs fleet mode (?run= resolution); nil in single-run mode.
 	Fleet *fleet.Fleet
 	// Broker, when set, serves the /api/events SSE stream. Wire its
-	// OnWindowFlush into the engine's stream.Config to feed it.
+	// OnWindowFlush into the engine's stream.Config to feed it, and its
+	// PublishAlerts into the alerting OnAlert hook for `event: alert` frames.
 	Broker *Broker
+	// Alerts, when set, serves /api/alerts (the same lifecycle snapshot as
+	// the host server's /alerts) so the banner can catch up on connect.
+	Alerts *alert.Evaluator
 }
 
 // Server is the embedded profiler's http.Handler. Mount it with the serve or
@@ -54,9 +59,16 @@ func NewServer(cfg Config) *Server {
 	s.handle("/api/timeline", "per-machine timeline view model (JSON)", s.handleTimeline)
 	s.handle("/api/comms", "cross-machine communication matrix estimate (JSON)", s.handleComms)
 	if cfg.Broker != nil {
-		s.handle("/api/events", "SSE window-flush stream", cfg.Broker.ServeHTTP)
+		s.handle("/api/events", "SSE window-flush and alert stream", cfg.Broker.ServeHTTP)
+	}
+	if cfg.Alerts != nil {
+		s.handle("/api/alerts", "alert lifecycle snapshot for the banner (JSON)", s.handleAlerts)
 	}
 	return s
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.cfg.Alerts.Snapshot())
 }
 
 func (s *Server) handle(path, desc string, h http.HandlerFunc) {
