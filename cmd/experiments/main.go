@@ -27,6 +27,7 @@ func main() {
 		csvOut    = flag.String("csv", "", "fig3: also write the series CSV to this file")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the experiments")
 	)
 	flag.Parse()
 	var err error
@@ -34,6 +35,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		bound, stopPprof, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listener: " + err.Error())
+			os.Exit(2)
+		}
+		defer stopPprof()
+		logger.Info("pprof on http://" + bound + "/debug/pprof/")
 	}
 
 	run := func(name string, fn func() error) {

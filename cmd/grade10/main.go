@@ -59,6 +59,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event file (pipeline self-trace + job profile) to this path")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 		logLevel  = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the analysis")
 
 		storeDir = flag.String("store", "", "profile archive directory: archive this analysis (with -run) or serve -diff")
 		storeMax = flag.Int("store-max", 0, "archive retention: keep at most this many runs, evicting oldest first (0 = unbounded)")
@@ -84,6 +85,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grade10: %v\n", err)
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		bound, stopPprof, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listener: " + err.Error())
+			os.Exit(2)
+		}
+		defer stopPprof()
+		logger.Info("pprof on http://" + bound + "/debug/pprof/")
 	}
 	if *convertIn != "" {
 		if *outPath == "" {

@@ -31,6 +31,7 @@ import (
 
 	"grade10/internal/cluster"
 	"grade10/internal/experiments"
+	"grade10/internal/flight"
 	"grade10/internal/giraphsim"
 	"grade10/internal/grade10"
 	"grade10/internal/graph"
@@ -44,7 +45,12 @@ import (
 	"grade10/internal/workload"
 )
 
-var logger *slog.Logger
+var (
+	logger *slog.Logger
+	// logRing is the flight recorder's bounded log ring, teed from every
+	// logger record; the live server exposes it at /logs.
+	logRing *obs.LogRing
+)
 
 func main() {
 	var (
@@ -73,7 +79,8 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "runsim", *logFormat, *logLevel)
+	logRing = obs.NewLogRing(0)
+	logger, err = obs.NewLoggerWithRing(os.Stderr, "runsim", *logFormat, *logLevel, logRing)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "runsim: %v\n", err)
 		os.Exit(2)
@@ -237,6 +244,10 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 		resources++
 	}
 	var broker *ui.Broker
+	account := &obs.RunAccount{}
+	overheadFn := func() []obs.RunOverhead {
+		return []obs.RunOverhead{{Run: job, OverheadSnapshot: account.Snapshot()}}
+	}
 	cfg := stream.Config{
 		Models:            models,
 		ExpectedInstances: workers * resources,
@@ -244,6 +255,7 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 		Parallelism:       parallel,
 		Tracer:            tracer,
 		Explain:           explainOn,
+		Account:           account,
 	}
 	if uiOn {
 		broker = ui.NewBroker(0)
@@ -257,12 +269,17 @@ func startLive(addr, engineName, job string, workers, threads int, m cluster.Mac
 	if pprofOn {
 		handler.EnablePprof()
 	}
+	handler.Handle("/logs", "recent log records from the flight recorder's ring (?level=&limit=)",
+		flight.LogsHandler(logRing))
+	handler.Handle("/debug/overhead", "framework overhead accounting for this run (JSON)",
+		flight.OverheadHandler(overheadFn))
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	handler.RegisterEngineMetrics(reg)
+	flight.RegisterOverheadMetrics(reg, overheadFn)
 	if broker != nil {
 		broker.RegisterMetrics(reg)
-		uis := ui.NewServer(ui.Config{Engine: se, Broker: broker})
+		uis := ui.NewServer(ui.Config{Engine: se, Broker: broker, Overhead: overheadFn})
 		handler.MountUI(uis, uis.Routes())
 	}
 	handler.SetRegistry(reg)

@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -58,6 +59,7 @@ import (
 
 	"grade10/internal/alert"
 	"grade10/internal/fleet"
+	"grade10/internal/flight"
 	"grade10/internal/grade10"
 	"grade10/internal/obs"
 	"grade10/internal/profdiff"
@@ -95,6 +97,11 @@ func main() {
 		alertRules   = flag.String("alert-rules", "", "alert rules file: threshold rules fire on every window flush, baseline-regression rules on finalized runs (vs the -store archive); serves /alerts")
 		alertWebhook = flag.String("alert-webhook", "", "POST each batch of alert lifecycle transitions to this URL as JSON, with retry/backoff (needs -alert-rules)")
 
+		bundleDir    = flag.String("bundle-dir", "", "flight recorder: write triggered diagnostics bundles (pprof, self-trace, log ring, window and alert snapshots) under this directory; empty disables bundle capture (the in-memory rings stay on)")
+		bundleMax    = flag.Int("bundle-max", 16, "flight recorder: retain at most this many bundles, evicting oldest first")
+		bundleMinGap = flag.Duration("bundle-min-interval", time.Minute, "flight recorder: minimum interval between bundles of the same trigger kind")
+		bundleCPU    = flag.Duration("bundle-cpu-profile", 250*time.Millisecond, "flight recorder: CPU-profile sampling duration per bundle (negative disables the CPU profile)")
+
 		fleetDir     = flag.String("fleet", "", "fleet mode: watch this directory for run subdirectories and characterize them all (mutually exclusive with -run)")
 		fleetActive  = flag.Int("fleet-active", 8, "fleet mode: max concurrently ingesting runs")
 		fleetQueue   = flag.Int("fleet-queue", 64, "fleet mode: admission backlog depth; registrations beyond active+queue are shed")
@@ -103,7 +110,11 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	logger, err = obs.NewLogger(os.Stderr, "serve", *logFormat, *logLevel)
+	// Every log record tees into the flight recorder's bounded ring (down to
+	// debug, regardless of -log-level) so /logs and bundle captures carry
+	// recent history.
+	logRing := obs.NewLogRing(0)
+	logger, err = obs.NewLoggerWithRing(os.Stderr, "serve", *logFormat, *logLevel, logRing)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
@@ -139,6 +150,8 @@ func main() {
 			explain: *explainOn, storeDir: *storeDir, storeMax: *storeMax,
 			storeShards: *storeShards, shutdownTO: *shutdownTO, ui: *uiOn,
 			alertRules: rules, notifier: notifier,
+			logRing: logRing, bundleDir: *bundleDir, bundleMax: *bundleMax,
+			bundleMinGap: *bundleMinGap, bundleCPU: *bundleCPU,
 		})
 		return
 	}
@@ -185,7 +198,16 @@ func main() {
 		runInfo       rundir.Info
 		alertEv       *alert.Evaluator
 		publishAlerts func([]alert.Event)
+		recorder      *flight.Recorder
+		capt          *flight.Capturer
 	)
+	// Per-run overhead accounting: what characterizing this run costs the
+	// framework itself. Diagnostics only — never feeds analysis output.
+	runName := filepath.Base(filepath.Clean(*runDir))
+	account := &obs.RunAccount{}
+	overheadFn := func() []obs.RunOverhead {
+		return []obs.RunOverhead{{Run: runName, OverheadSnapshot: account.Snapshot()}}
+	}
 	// The SSE broker exists before the engine: buildEngine wires its
 	// OnWindowFlush hook into the stream config so every flushed window
 	// becomes one `event: window` frame on /api/events.
@@ -197,6 +219,7 @@ func main() {
 		Info: func(info rundir.Info) {
 			runInfo = info
 			tracer := obs.NewTracer()
+			recorder = flight.NewRecorder(tracer, logRing)
 			// The archive opens before the engine so baseline-regression
 			// rules can learn per-cell robust stats from prior runs of the
 			// same job — before this run's own record is archived.
@@ -216,7 +239,13 @@ func main() {
 						"runs", base.Runs(), "cells", base.Len())
 				}
 				alertEv = alert.NewEvaluator(rules, base, alert.Config{})
+			}
+			capt = newCapturer(*bundleDir, *bundleMax, *bundleMinGap, *bundleCPU, recorder, alertEv, overheadFn)
+			watchSIGQUIT(capt)
+			if alertEv != nil {
 				publishAlerts = func(evs []alert.Event) {
+					recorder.OnAlerts(evs)
+					onFiring(capt, evs, runName)
 					if broker != nil {
 						broker.PublishAlerts(evs)
 					}
@@ -225,11 +254,13 @@ func main() {
 					}
 				}
 			}
-			var onFlush func(*stream.WindowResult)
-			if broker != nil {
-				onFlush = broker.OnWindowFlush
+			onFlush := func(wr *stream.WindowResult) {
+				if broker != nil {
+					broker.OnWindowFlush(wr)
+				}
+				recorder.OnWindowFlush(runName, wr)
 			}
-			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer, onFlush, alertEv, publishAlerts)
+			e, err := buildEngine(info, *timeslice, *window, *maxWin, *bounded, *parallel, *explainOn, tracer, onFlush, alertEv, publishAlerts, account)
 			if err != nil {
 				fail(err)
 			}
@@ -249,6 +280,17 @@ func main() {
 			if store != nil {
 				srv.SetStore(store, profdiff.Config{})
 			}
+			srv.Handle("/logs", "recent log records from the flight recorder's ring (?level=&limit=)",
+				flight.LogsHandler(logRing))
+			srv.Handle("/debug/overhead", "framework overhead accounting for this run (JSON)",
+				flight.OverheadHandler(overheadFn))
+			if capt != nil {
+				bh := flight.BundlesHandler(capt)
+				srv.Handle("/debug/bundle", "POST: capture a diagnostics bundle now (?detail=)",
+					flight.TriggerHandler(capt))
+				srv.Handle("/debug/bundles", "captured diagnostics bundles (JSON)", bh)
+				srv.Handle("/debug/bundles/", "fetch one diagnostics bundle as a tar stream", bh)
+			}
 			// The registry feeds /metrics with the tracer bridge (per-stage
 			// histograms), Go runtime gauges, and the engine's staleness and
 			// parser-health gauges.
@@ -257,18 +299,24 @@ func main() {
 			obs.BridgeTracer(reg, tracer)
 			srv.RegisterEngineMetrics(reg)
 			srv.RegisterStoreMetrics(reg)
+			recorder.RegisterMetrics(reg)
+			capt.RegisterMetrics(reg)
+			flight.RegisterOverheadMetrics(reg, overheadFn)
 			if alertEv != nil {
 				srv.SetAlerts(alertEv, alert.RegisterMetrics(reg, alertEv))
 			}
 			if broker != nil {
 				broker.RegisterMetrics(reg)
-				uis := ui.NewServer(ui.Config{Engine: engine, Broker: broker, Alerts: alertEv})
+				uis := ui.NewServer(ui.Config{Engine: engine, Broker: broker, Alerts: alertEv, Overhead: overheadFn})
 				srv.MountUI(uis, uis.Routes())
 			}
 			srv.SetRegistry(reg)
 			liveSrv = srv
 			live := http.Handler(srv)
 			handler.Store(&live)
+			if capt != nil {
+				capt.WatchHealth(stop, 0, srv.Degraded)
+			}
 			logger.Info(fmt.Sprintf("%s run of %q on %d workers; live endpoints up",
 				info.Engine, info.Job, info.Workers))
 		},
@@ -346,7 +394,13 @@ func main() {
 	<-stop
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
 	defer cancel()
+	if broker != nil {
+		broker.Shutdown() // end SSE streams so HTTP shutdown can drain
+	}
 	_ = httpSrv.Shutdown(ctx)
+	if capt != nil {
+		capt.Close() // drain queued bundle captures
+	}
 	if notifier != nil {
 		notifier.Close()
 	}
@@ -391,6 +445,61 @@ type fleetOptions struct {
 	ui                    bool
 	alertRules            []alert.Rule
 	notifier              *alert.Notifier
+	logRing               *obs.LogRing
+	bundleDir             string
+	bundleMax             int
+	bundleMinGap          time.Duration
+	bundleCPU             time.Duration
+}
+
+// newCapturer builds the flight bundle capturer from the -bundle-* flags, or
+// nil when -bundle-dir is unset.
+func newCapturer(dir string, max int, minGap, cpu time.Duration, rec *flight.Recorder, ev *alert.Evaluator, overhead func() []obs.RunOverhead) *flight.Capturer {
+	if dir == "" {
+		return nil
+	}
+	capt, err := flight.NewCapturer(flight.Config{
+		Dir: dir, MaxBundles: max, MinInterval: minGap, CPUProfile: cpu,
+		Recorder: rec, Alerts: ev, Overhead: overhead, Logger: logger,
+	})
+	if err != nil {
+		fail(err)
+	}
+	return capt
+}
+
+// watchSIGQUIT captures a bundle on every SIGQUIT instead of the runtime's
+// stack-dump-and-exit default: the process stays up and the operator gets
+// profiles, trace, and logs on disk.
+func watchSIGQUIT(capt *flight.Capturer) {
+	if capt == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			logger.Info("SIGQUIT: capturing diagnostics bundle")
+			capt.Trigger(flight.TriggerSignal, "SIGQUIT", nil)
+		}
+	}()
+}
+
+// onFiring triggers a bundle capture for every alert transitioning to firing.
+func onFiring(capt *flight.Capturer, evs []alert.Event, run string) {
+	if capt == nil {
+		return
+	}
+	for _, ev := range evs {
+		if ev.To == alert.StateFiring {
+			var runs []string
+			if run != "" {
+				runs = []string{run}
+			}
+			capt.Trigger(flight.TriggerAlert, "alert "+ev.Rule+" firing", runs)
+			return // one trigger per batch; the rate limit would eat the rest anyway
+		}
+	}
 }
 
 // runFleet is fleet mode: many concurrent runs behind the admission
@@ -434,7 +543,33 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 		}
 		alertEv = alert.NewEvaluator(opt.alertRules, base, alert.Config{})
 		cfg.Alerts = alertEv
+	}
+	// Flight recorder: window snapshots from every run's flush hook, bundle
+	// captures on firing alerts, stall/shed incidents, degraded health,
+	// SIGQUIT, and POST /debug/bundle. Fleet engines carry no tracer, so
+	// bundles omit the self-trace section here.
+	recorder := flight.NewRecorder(nil, opt.logRing)
+	cfg.OnWindowFlush = recorder.OnWindowFlush
+	var fl *fleet.Fleet
+	capt := newCapturer(opt.bundleDir, opt.bundleMax, opt.bundleMinGap, opt.bundleCPU,
+		recorder, alertEv, func() []obs.RunOverhead {
+			if fl == nil {
+				return nil // capture raced fleet construction
+			}
+			return fl.Overhead()
+		})
+	watchSIGQUIT(capt)
+	if capt != nil {
+		cfg.OnIncident = func(kind, detail, run string) {
+			capt.Trigger(flight.Trigger(kind), detail, []string{run})
+		}
+	}
+	if alertEv != nil {
 		cfg.OnAlert = func(evs []alert.Event) {
+			recorder.OnAlerts(evs)
+			if len(evs) > 0 {
+				onFiring(capt, evs, evs[0].Run)
+			}
 			if broker != nil {
 				broker.PublishAlerts(evs)
 			}
@@ -443,13 +578,24 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 			}
 		}
 	}
-	fl := fleet.New(cfg)
+	fl = fleet.New(cfg)
 	srv := fleet.NewServer(fl)
+	srv.Handle("/logs", "recent log records from the flight recorder's ring (?level=&limit=)",
+		flight.LogsHandler(opt.logRing))
+	srv.Handle("/debug/overhead", "per-run framework overhead accounting (JSON)",
+		flight.OverheadHandler(fl.Overhead))
+	if capt != nil {
+		bh := flight.BundlesHandler(capt)
+		srv.Handle("/debug/bundle", "POST: capture a diagnostics bundle now (?detail=)",
+			flight.TriggerHandler(capt))
+		srv.Handle("/debug/bundles", "captured diagnostics bundles (JSON)", bh)
+		srv.Handle("/debug/bundles/", "fetch one diagnostics bundle as a tar stream", bh)
+	}
 	// Fleet UI: run picker over /fleet/runs, per-run view models via
 	// /api/*?run=, archive diffs via /diff, alert banner via /api/alerts
 	// with SSE alert frames on /api/events.
 	if opt.ui {
-		uis := ui.NewServer(ui.Config{Fleet: fl, Broker: broker, Alerts: alertEv})
+		uis := ui.NewServer(ui.Config{Fleet: fl, Broker: broker, Alerts: alertEv, Overhead: fl.Overhead})
 		srv.MountUI(uis, uis.Routes())
 	}
 	reg := obs.NewRegistry()
@@ -461,6 +607,9 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 		srv.SetAlerts(alertEv, alert.RegisterMetrics(reg, alertEv))
 	}
 	srv.RegisterMetrics(reg)
+	recorder.RegisterMetrics(reg)
+	capt.RegisterMetrics(reg)
+	flight.RegisterOverheadMetrics(reg, fl.Overhead)
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	go func() {
@@ -478,6 +627,15 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 		<-sigCh
 		close(stop)
 	}()
+	if capt != nil {
+		capt.WatchHealth(stop, 0, func() (bool, string) {
+			h := srv.Health()
+			if h.Status == "ok" {
+				return false, ""
+			}
+			return true, strings.Join(h.Reasons, "; ")
+		})
+	}
 
 	if err := fl.Watch(watchDir, stop); err != nil {
 		fail(err)
@@ -490,7 +648,13 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 	if err := fl.Shutdown(ctx); err != nil {
 		logger.Warn(err.Error())
 	}
+	if broker != nil {
+		broker.Shutdown() // end SSE streams so HTTP shutdown can drain
+	}
 	_ = httpSrv.Shutdown(ctx)
+	if capt != nil {
+		capt.Close() // drain queued bundle captures
+	}
 	if opt.notifier != nil {
 		opt.notifier.Close()
 	}
@@ -499,7 +663,7 @@ func runFleet(watchDir, addr string, opt fleetOptions) {
 // buildEngine resolves the run's models through the same entry point as the
 // batch CLI and sizes the streaming engine from the run metadata. The tracer
 // self-traces window flushes and the final batch pipeline, feeding /trace.
-func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer, onFlush func(*stream.WindowResult), alerts *alert.Evaluator, onAlert func([]alert.Event)) (*stream.Engine, error) {
+func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, bounded bool, parallel int, explainOn bool, tracer *obs.Tracer, onFlush func(*stream.WindowResult), alerts *alert.Evaluator, onAlert func([]alert.Event), account *obs.RunAccount) (*stream.Engine, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -526,6 +690,7 @@ func buildEngine(info rundir.Info, timeslice time.Duration, window, maxWin int, 
 		OnWindowFlush:     onFlush,
 		Alerts:            alerts,
 		OnAlert:           onAlert,
+		Account:           account,
 	}
 	if timeslice > 0 {
 		cfg.Timeslice = vtime.Duration(timeslice)

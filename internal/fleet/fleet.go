@@ -13,6 +13,7 @@ import (
 
 	"grade10/internal/alert"
 	"grade10/internal/grade10"
+	"grade10/internal/obs"
 	"grade10/internal/profdiff"
 	"grade10/internal/profstore"
 	"grade10/internal/rundir"
@@ -76,6 +77,18 @@ type Config struct {
 	Now func() time.Time
 	// Logger receives per-run lifecycle diagnostics; default discards.
 	Logger *slog.Logger
+	// OnWindowFlush, when set, receives every run's flushed windows tagged
+	// with the run name (and a nil result when a run finalizes). Like
+	// stream.Config.OnWindowFlush it runs under that run's engine lock: hand
+	// the result to a non-blocking sink and return. The flight recorder's
+	// window ring feeds from here.
+	OnWindowFlush func(run string, wr *stream.WindowResult)
+	// OnIncident, when set, is notified of fleet-level incidents — the stall
+	// watchdog tearing a run down ("stall") or the admission scheduler
+	// shedding a registration ("shed") — off the fleet lock. cmd wiring
+	// points this at the flight bundle capturer; the fleet itself carries no
+	// flight dependency.
+	OnIncident func(kind, detail, run string)
 }
 
 func (c *Config) fill() {
@@ -116,6 +129,7 @@ type runState struct {
 	infoSet bool
 
 	engine      *stream.Engine
+	account     *obs.RunAccount // survives engine teardown: finished runs still report overhead
 	bottlenecks []stream.BottleneckSummary
 	archiveID   string
 	makespanNS  int64
@@ -177,6 +191,10 @@ func (f *Fleet) Register(dir string) (name string, d Decision, err error) {
 		return "", DecisionShed, err
 	}
 	if d == DecisionShed {
+		if f.cfg.OnIncident != nil {
+			// Notify off the fleet lock; the shed itself is already settled.
+			go f.cfg.OnIncident("shed", fmt.Sprintf("admission shed for %s", dir), name)
+		}
 		return name, d, nil // load-shed: counted by the scheduler, not retained
 	}
 	rs := &runState{
@@ -222,6 +240,9 @@ func (f *Fleet) stallWatch(rs *runState) {
 		f.mu.Unlock()
 		if stalled {
 			f.cfg.Logger.Warn("fleet run stalled", "run", rs.name, "dir", rs.dir)
+			if f.cfg.OnIncident != nil {
+				f.cfg.OnIncident("stall", rs.err, rs.name)
+			}
 			rs.requestStop()
 		}
 	}
@@ -241,7 +262,7 @@ func (f *Fleet) runWorker(rs *runState) {
 	)
 	sink := rundir.FollowSink{
 		Info: func(info rundir.Info) {
-			e, err := f.buildEngine(info)
+			e, acct, err := f.buildEngine(rs.name, info)
 			if err != nil {
 				buildErr = err
 				rs.requestStop()
@@ -255,7 +276,7 @@ func (f *Fleet) runWorker(rs *runState) {
 			}
 			pendingLog, pendingRows = nil, nil
 			f.mu.Lock()
-			rs.info, rs.infoSet, rs.engine = info, true, e
+			rs.info, rs.infoSet, rs.engine, rs.account = info, true, e, acct
 			f.mu.Unlock()
 			f.cfg.Logger.Info("fleet run ingesting",
 				"run", rs.name, "engine", info.Engine, "job", info.Job, "workers", info.Workers)
@@ -377,8 +398,10 @@ func (f *Fleet) finishRun(rs *runState, followErr error) {
 }
 
 // buildEngine mirrors cmd/serve's sizing: models from the run metadata,
-// expected instance count from workers × monitored resources.
-func (f *Fleet) buildEngine(info rundir.Info) (*stream.Engine, error) {
+// expected instance count from workers × monitored resources. Every fleet
+// engine carries a per-run overhead account so /fleet/runs and
+// /debug/overhead can report what characterizing the run cost.
+func (f *Fleet) buildEngine(name string, info rundir.Info) (*stream.Engine, *obs.RunAccount, error) {
 	models, err := grade10.ModelsForEngine(info.Engine, grade10.ModelParams{
 		Job:              info.Job,
 		Cores:            info.Cores,
@@ -387,12 +410,13 @@ func (f *Fleet) buildEngine(info rundir.Info) (*stream.Engine, error) {
 		ThreadsPerWorker: info.ThreadsPerWorker,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resources := 3 // cpu, net-in, net-out
 	if info.DiskBandwidth > 0 {
 		resources++
 	}
+	acct := &obs.RunAccount{}
 	cfg := stream.Config{
 		Models:            models,
 		WindowSlices:      f.cfg.WindowSlices,
@@ -401,11 +425,19 @@ func (f *Fleet) buildEngine(info rundir.Info) (*stream.Engine, error) {
 		RetainForFinal:    true, // exact finalize feeds the archive and blame
 		Parallelism:       f.cfg.Parallelism,
 		Explain:           f.cfg.Explain,
+		Account:           acct,
 	}
 	if f.cfg.Timeslice > 0 {
 		cfg.Timeslice = f.cfg.Timeslice
 	}
-	return stream.New(cfg)
+	if hook := f.cfg.OnWindowFlush; hook != nil {
+		cfg.OnWindowFlush = func(wr *stream.WindowResult) { hook(name, wr) }
+	}
+	e, err := stream.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, acct, nil
 }
 
 // Watch polls watchDir for new subdirectories and registers each exactly
@@ -493,6 +525,9 @@ type RunView struct {
 	// StalenessSeconds is wall-clock time since the run last ingested
 	// anything; only meaningful while active.
 	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+	// Overhead is the framework's own accrued cost of characterizing this
+	// run; present once ingest has started (it survives engine teardown).
+	Overhead *obs.OverheadSnapshot `json:"overhead,omitempty"`
 }
 
 // FleetSnapshot is the /fleet/runs payload.
@@ -523,6 +558,10 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 			if age, finalized := rs.engine.IngestAge(); !finalized {
 				v.StalenessSeconds = age.Seconds()
 			}
+		}
+		if rs.account != nil {
+			o := rs.account.Snapshot()
+			v.Overhead = &o
 		}
 		snap.Runs = append(snap.Runs, v)
 	}
@@ -576,6 +615,29 @@ func (f *Fleet) Staleness() map[string]float64 {
 			out[rs.name] = age.Seconds()
 		}
 	}
+	return out
+}
+
+// Overhead reports every run's accrued framework cost, most expensive (by
+// wall time) first — the /debug/overhead payload and the UI overhead panel's
+// source. Runs whose ingest never started are omitted.
+func (f *Fleet) Overhead() []obs.RunOverhead {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []obs.RunOverhead
+	for _, name := range f.order {
+		rs := f.runs[name]
+		if rs.account == nil {
+			continue
+		}
+		out = append(out, obs.RunOverhead{Run: name, OverheadSnapshot: rs.account.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallSeconds != out[j].WallSeconds {
+			return out[i].WallSeconds > out[j].WallSeconds
+		}
+		return out[i].Run < out[j].Run
+	})
 	return out
 }
 

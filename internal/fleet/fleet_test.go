@@ -502,8 +502,18 @@ func TestFleetStallTeardown(t *testing.T) {
 	if snap.Runs[0].Status != StatusStalled {
 		t.Fatalf("status = %s (%s), want stalled", snap.Runs[0].Status, snap.Runs[0].Error)
 	}
-	if a, _, _ := f.Counts(); a != 0 {
-		t.Fatalf("stalled run still holds an active slot")
+	// The status flips to stalled before the worker winds down and releases
+	// its slot, so give the release a moment instead of sampling once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a, _, _ := f.Counts()
+		if a == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled run still holds an active slot")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	if err := f.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)

@@ -59,6 +59,15 @@ func (s *Server) handle(path, desc string, h http.HandlerFunc) {
 	s.routes = append(s.routes, obs.Route{Path: path, Desc: desc})
 }
 
+// Handle mounts an extra handler (e.g. the flight recorder's /logs and
+// /debug/bundles endpoints) on the server's mux and lists it in the GET /
+// endpoint index. Like the built-in routes it is wrapped by the HTTP metrics
+// middleware when a registry is set. Call before serving traffic.
+func (s *Server) Handle(path, desc string, h http.Handler) {
+	s.mux.Handle(path, h)
+	s.routes = append(s.routes, obs.Route{Path: path, Desc: desc})
+}
+
 // MountUI mounts the embedded visual profiler (internal/ui) under /ui/ and
 // /api/ and merges its route table into the endpoint index and the HTTP
 // metrics label space. Call before serving traffic.

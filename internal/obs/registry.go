@@ -264,6 +264,20 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+	hooks    []func()
+}
+
+// AddScrapeHook registers a function run at the start of every WriteText —
+// the refresh point for labeled gauge families that mirror external state
+// (per-run overhead, staleness) and so cannot be plain GaugeFuncs. Hooks run
+// outside the registry lock and may create or delete children.
+func (r *Registry) AddScrapeHook(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -419,6 +433,12 @@ func formatValue(v float64) string {
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	order := append([]string(nil), r.order...)

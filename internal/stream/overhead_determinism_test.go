@@ -1,0 +1,74 @@
+package stream_test
+
+import (
+	"bytes"
+	"testing"
+
+	"grade10/internal/flight"
+	"grade10/internal/obs"
+	"grade10/internal/report"
+	"grade10/internal/stream"
+)
+
+// TestDeterminismWithAccountingAndRecorder is the guard for the flight
+// recorder's exemption boundary: with overhead accounting and the recorder's
+// window ring both enabled, the analyzed-profile output must stay
+// byte-identical to the batch reference at every parallelism. The recorder
+// and account observe the pipeline; nothing they measure may feed it.
+func TestDeterminismWithAccountingAndRecorder(t *testing.T) {
+	f := getFixture(t)
+
+	run := func(parallelism int) string {
+		t.Helper()
+		account := &obs.RunAccount{}
+		rec := flight.NewRecorder(obs.NewTracer(), obs.NewLogRing(0))
+		e, err := stream.New(stream.Config{
+			Models: f.models, RetainForFinal: true, WindowSlices: 16, MaxWindows: 4,
+			ExpectedInstances: len(f.monitoring),
+			Parallelism:       parallelism,
+			Tracer:            rec.Tracer,
+			Account:           account,
+			OnWindowFlush: func(wr *stream.WindowResult) {
+				rec.OnWindowFlush("guard", wr)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedAll(e, f)
+		out, err := e.Finalize()
+		if err != nil {
+			t.Fatalf("Finalize: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteAll(&buf, out); err != nil {
+			t.Fatal(err)
+		}
+
+		// The diagnostics must actually have observed the run — a guard that
+		// passes because accounting silently no-oped guards nothing.
+		snap := account.Snapshot()
+		if snap.Windows == 0 || snap.WallSeconds <= 0 {
+			t.Fatalf("account saw no compute sections: %+v", snap)
+		}
+		if snap.IngestBytes == 0 || snap.IngestItems == 0 {
+			t.Fatalf("account saw no ingest: %+v", snap)
+		}
+		if wins := rec.WindowSnapshots(); len(wins) != 1 || len(wins[0].Windows) == 0 {
+			t.Fatalf("recorder retained no windows: %+v", wins)
+		}
+		if len(rec.Tracer.Spans()) == 0 {
+			t.Fatal("tracer recorded no spans")
+		}
+		return buf.String()
+	}
+
+	p1 := run(1)
+	p4 := run(4)
+	if p1 != p4 {
+		t.Fatal("analyzed output differs between parallelism 1 and 4 with accounting enabled")
+	}
+	if p1 != f.batchText {
+		t.Fatal("analyzed output with accounting enabled differs from the batch reference")
+	}
+}

@@ -109,6 +109,13 @@ type Config struct {
 	// Now is the wall clock used for ingest staleness tracking; nil takes
 	// time.Now. Injectable for tests.
 	Now func() time.Time
+	// Account, when set, accrues the framework's own cost of characterizing
+	// this run: wall/CPU time in the compute sections (window flush, final
+	// characterization), heap bytes allocated across them, and raw ingest
+	// volume. Accounting is diagnostics only — nothing it measures feeds
+	// analysis output, so results stay byte-identical with it on or off.
+	// Nil disables it; instrumented paths then pay one predictable branch.
+	Account *obs.RunAccount
 }
 
 func (c *Config) fill() error {
@@ -304,6 +311,7 @@ func (e *Engine) Timeslice() vtime.Duration { return e.cfg.Timeslice }
 
 // IngestLine feeds one log line. Malformed lines are counted and skipped.
 func (e *Engine) IngestLine(line string) {
+	e.cfg.Account.AddIngest(int64(len(line)), 1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lastIngest = e.cfg.Now()
@@ -317,6 +325,7 @@ func (e *Engine) IngestLine(line string) {
 // the encoding is auto-detected from the first bytes fed. Chunks may split
 // lines or binary records arbitrarily.
 func (e *Engine) IngestChunk(chunk []byte) {
+	e.cfg.Account.AddIngest(int64(len(chunk)), 0)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lastIngest = e.cfg.Now()
@@ -343,6 +352,7 @@ func (e *Engine) IngestReader(r io.Reader) error {
 
 // IngestEvent feeds one already-parsed event (the in-process tap path).
 func (e *Engine) IngestEvent(ev enginelog.Event) {
+	e.cfg.Account.AddIngest(0, 1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lastIngest = e.cfg.Now()
@@ -480,6 +490,7 @@ func (e *Engine) noteWatermarkLocked(t vtime.Time) {
 // does not cover are ignored (as in the batch path); overlapping samples are
 // dropped and gaps zero-filled, both counted.
 func (e *Engine) IngestSample(machine int, resource string, capacity float64, s metrics.Sample) {
+	e.cfg.Account.AddIngest(0, 1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lastIngest = e.cfg.Now()
@@ -522,6 +533,7 @@ func (e *Engine) IngestSample(machine int, resource string, capacity float64, s 
 // IngestMonitoringLine feeds one monitoring CSV line (rundir format).
 // Malformed lines are counted as invalid samples and skipped.
 func (e *Engine) IngestMonitoringLine(line string) {
+	e.cfg.Account.AddIngest(int64(len(line)), 0)
 	row, ok, err := rundir.ParseMonitoringLine(line)
 	if err != nil {
 		e.mu.Lock()
@@ -633,6 +645,19 @@ func (e *Engine) maybeFlushLocked() {
 // flushWindowLocked attributes and analyzes one window [w0, w1) through the
 // shared batch implementations and folds the result into the live state.
 func (e *Engine) flushWindowLocked(w0, w1 vtime.Time) {
+	if a := e.cfg.Account; a != nil {
+		// The flush runs on one goroutine (attribution workers are measured
+		// by their enclosing wall time), so wall ≈ CPU for this section.
+		start := time.Now()
+		alloc0 := obs.HeapAllocBytes()
+		defer func() {
+			d := time.Since(start)
+			a.AddWall(d)
+			a.AddCPU(d)
+			a.AddAlloc(int64(obs.HeapAllocBytes() - alloc0))
+			a.AddWindow()
+		}()
+	}
 	win := core.NewTimeslices(w0, w1, e.cfg.Timeslice)
 
 	// Leaves overlapping the window: retired-pending closed leaves plus
@@ -898,7 +923,19 @@ func (e *Engine) Finalize() (*grade10.Output, error) {
 		rec = explain.NewRecorder(0)
 		in.Recorder = rec
 	}
+	var finStart time.Time
+	var finAlloc0 uint64
+	if e.cfg.Account != nil {
+		finStart = time.Now()
+		finAlloc0 = obs.HeapAllocBytes()
+	}
 	e.finalOut, e.finalErr = grade10.Characterize(in)
+	if a := e.cfg.Account; a != nil {
+		d := time.Since(finStart)
+		a.AddWall(d)
+		a.AddCPU(d)
+		a.AddAlloc(int64(obs.HeapAllocBytes() - finAlloc0))
+	}
 	if e.finalErr == nil && rec != nil {
 		ex := explain.NewExplainer(e.finalOut.Profile, rec)
 		if e.cfg.Bottleneck.SaturationThreshold > 0 {

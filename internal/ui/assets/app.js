@@ -11,6 +11,7 @@ const state = {
   es: null,          // EventSource
   refreshTimer: 0,
   alerts: false,     // /api/alerts mounted (server started with -alert-rules)
+  overhead: false,   // /api/overhead mounted (overhead accounting wired)
 };
 
 function apiURL(path) {
@@ -280,6 +281,55 @@ async function setupAlerts() {
   } catch { state.alerts = false; }
 }
 
+// ---------- framework overhead panel ----------
+
+function fmtBytes(n) {
+  if (n === undefined || n === null) return "–";
+  if (n >= 1 << 30) return (n / (1 << 30)).toFixed(2) + " GiB";
+  if (n >= 1 << 20) return (n / (1 << 20)).toFixed(2) + " MiB";
+  if (n >= 1 << 10) return (n / (1 << 10)).toFixed(1) + " KiB";
+  return n + " B";
+}
+
+// renderOverhead lists the most expensive runs: what grade10 itself spent
+// characterizing each one (wall/CPU seconds, allocation, ingest volume).
+function renderOverhead(data) {
+  const div = $("overhead");
+  div.innerHTML = "";
+  const runs = (data.runs || []).slice(0, 10);
+  if (!runs.length) { div.append(el("p", "hint", "no runs accounted yet.")); return; }
+  for (const r of runs) {
+    const row = el("div", "overhead-row");
+    row.append(el("strong", "", r.run || "(this run)"));
+    row.append(el("small", "",
+      " wall " + fmt(r.wall_seconds, 2) + "s · cpu " + fmt(r.cpu_seconds, 2) + "s" +
+      " · alloc " + fmtBytes(r.alloc_bytes) +
+      " · ingest " + fmtBytes(r.ingest_bytes) +
+      " · " + (r.windows || 0) + " windows"));
+    div.append(row);
+  }
+  if ((data.runs || []).length > 10) {
+    div.append(el("p", "hint", "+" + (data.runs.length - 10) + " more at /debug/overhead"));
+  }
+}
+
+async function refreshOverhead() {
+  if (!state.overhead) return;
+  try {
+    renderOverhead(await getJSON("/api/overhead"));
+  } catch { /* transient: keep the last panel */ }
+}
+
+async function setupOverhead() {
+  // /api/overhead only exists when the host server wired overhead accounting.
+  try {
+    const data = await getJSON("/api/overhead");
+    state.overhead = true;
+    $("overhead-sec").classList.remove("hidden");
+    renderOverhead(data);
+  } catch { state.overhead = false; }
+}
+
 // ---------- explain click-through ----------
 
 async function explain(query) {
@@ -367,8 +417,8 @@ function connectSSE() {
   const es = new EventSource("/api/events");
   state.es = es;
   // Coalesce: window flushes can be rapid; re-render at most every 500ms.
-  es.addEventListener("window", () => scheduleRefresh(500));
-  es.addEventListener("final", () => scheduleRefresh(100));
+  es.addEventListener("window", () => { scheduleRefresh(500); refreshOverhead(); });
+  es.addEventListener("final", () => { scheduleRefresh(100); refreshOverhead(); });
   es.addEventListener("alert", () => refreshAlerts());
   es.onerror = () => { es.close(); state.es = null; };
 }
@@ -399,12 +449,14 @@ async function main() {
   const ov = await refreshAll();
   await setupDiff();
   await setupAlerts();
+  await setupOverhead();
   if (ov && ov.sse && !ov.finalized) connectSSE();
   if (ov && !ov.finalized && (!ov.sse || state.mode === "fleet")) {
     // No push channel: poll until the run settles.
     const tick = async () => {
       const cur = await refreshAll();
       await refreshAlerts();
+      await refreshOverhead();
       if (!cur || !cur.finalized) state.refreshTimer = setTimeout(tick, 2000);
     };
     state.refreshTimer = setTimeout(tick, 2000);

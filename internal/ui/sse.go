@@ -116,6 +116,18 @@ func (b *Broker) publish(fr []byte) {
 	b.mu.Unlock()
 }
 
+// Shutdown disconnects every subscriber (their streams end cleanly) so the
+// host server can drain SSE connections on exit. The broker stays usable:
+// later subscribers are accepted as usual.
+func (b *Broker) Shutdown() {
+	b.mu.Lock()
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+	b.mu.Unlock()
+}
+
 // subscribe registers a new queue. The returned cancel is idempotent-safe to
 // call after the broker already dropped the subscriber.
 func (b *Broker) subscribe() (ch chan []byte, cancel func()) {

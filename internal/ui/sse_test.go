@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -235,6 +236,103 @@ func TestSSESlowSubscriberDropped(t *testing.T) {
 	if !strings.Contains(text, "grade10_ui_sse_subscribers") {
 		t.Fatal("subscriber gauge missing from registry")
 	}
+}
+
+// subscriberGauge scrapes grade10_ui_sse_subscribers from the registry.
+func subscriberGauge(t *testing.T, reg *obs.Registry) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "grade10_ui_sse_subscribers ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, "grade10_ui_sse_subscribers %g", &v); err != nil {
+				t.Fatalf("parse gauge line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatal("grade10_ui_sse_subscribers missing from scrape")
+	return 0
+}
+
+// waitGauge polls the subscriber gauge until it reaches want (disconnect
+// cleanup runs on the handler goroutine, so decrements are asynchronous).
+func waitGauge(t *testing.T, reg *obs.Registry, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := subscriberGauge(t, reg); got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("subscriber gauge = %g, want %g", got, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSSESubscriberGaugePaths: grade10_ui_sse_subscribers must decrement on
+// every disconnect path — client close, slow-subscriber drop, and broker
+// shutdown — so the gauge can never leak upward on a long-lived server.
+func TestSSESubscriberGaugePaths(t *testing.T) {
+	reg := obs.NewRegistry()
+	broker := ui.NewBroker(2) // tiny queue so the slow-drop path triggers fast
+	broker.RegisterMetrics(reg)
+	s := ui.NewServer(ui.Config{Broker: broker})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Two healthy subscribers plus one that will go slow.
+	a := subscribe(t, ts.URL+"/api/events")
+	defer a.cancel()
+	b := subscribe(t, ts.URL+"/api/events")
+	defer b.cancel()
+	a.next(t, "hello")
+	b.next(t, "hello")
+
+	slowCtx, slowCancel := context.WithCancel(context.Background())
+	defer slowCancel()
+	req, _ := http.NewRequestWithContext(slowCtx, "GET", ts.URL+"/api/events", nil)
+	slowResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowResp.Body.Close()
+	hello := make([]byte, 64)
+	if _, err := slowResp.Body.Read(hello); err != nil {
+		t.Fatal(err)
+	}
+	waitGauge(t, reg, 3)
+
+	// Path 1 — client close: cancelling the request context ends the stream
+	// and the handler's deferred cancel deregisters the queue.
+	a.cancel()
+	waitGauge(t, reg, 2)
+
+	// Path 2 — slow-subscriber drop: the slow client stops draining, so big
+	// frames overflow its bounded queue and the broker disconnects it.
+	big := &stream.WindowResult{Instances: make([]stream.WindowInstance, 2000)}
+	for i := 0; i < 20; i++ {
+		big.Index = i
+		broker.OnWindowFlush(big)
+		b.next(t, "window")
+		if subscriberGauge(t, reg) == 1 {
+			break
+		}
+	}
+	waitGauge(t, reg, 1)
+
+	// Path 3 — broker shutdown: every remaining subscriber is disconnected.
+	broker.Shutdown()
+	waitGauge(t, reg, 0)
+
+	// The broker stays usable after Shutdown: a fresh subscriber is counted.
+	c := subscribe(t, ts.URL+"/api/events")
+	defer c.cancel()
+	c.next(t, "hello")
+	waitGauge(t, reg, 1)
 }
 
 func grepLines(text, substr string) string {

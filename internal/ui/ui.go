@@ -18,6 +18,7 @@ package ui
 
 import (
 	"net/http"
+	"strconv"
 
 	"grade10/internal/alert"
 	"grade10/internal/fleet"
@@ -38,6 +39,11 @@ type Config struct {
 	// Alerts, when set, serves /api/alerts (the same lifecycle snapshot as
 	// the host server's /alerts) so the banner can catch up on connect.
 	Alerts *alert.Evaluator
+	// Overhead, when set, serves /api/overhead — per-run framework overhead
+	// rows, most expensive first — behind the overview's overhead panel.
+	// Fleet mode wires (*fleet.Fleet).Overhead; single-run mode wraps the
+	// engine's one account.
+	Overhead func() []obs.RunOverhead
 }
 
 // Server is the embedded profiler's http.Handler. Mount it with the serve or
@@ -64,7 +70,28 @@ func NewServer(cfg Config) *Server {
 	if cfg.Alerts != nil {
 		s.handle("/api/alerts", "alert lifecycle snapshot for the banner (JSON)", s.handleAlerts)
 	}
+	if cfg.Overhead != nil {
+		s.handle("/api/overhead", "per-run framework overhead, most expensive first (JSON)", s.handleOverhead)
+	}
 	return s
+}
+
+// handleOverhead serves the overhead panel's rows: every run's accrued
+// framework cost, most expensive by wall time first, capped at ?top= rows
+// (default all).
+func (s *Server) handleOverhead(w http.ResponseWriter, r *http.Request) {
+	runs := s.cfg.Overhead()
+	if runs == nil {
+		runs = []obs.RunOverhead{}
+	}
+	if t := r.URL.Query().Get("top"); t != "" {
+		if n, err := strconv.Atoi(t); err == nil && n >= 0 && n < len(runs) {
+			runs = runs[:n]
+		}
+	}
+	writeJSON(w, struct {
+		Runs []obs.RunOverhead `json:"runs"`
+	}{runs})
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
